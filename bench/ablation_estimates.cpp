@@ -1,0 +1,52 @@
+// Ablation: walltime-estimate quality. Backfilling (baseline and
+// beyond-window) plans around user estimates; the paper's group showed
+// adjusting them improves Blue Gene scheduling [Tang'10, Tang'13]. This
+// sweeps estimate quality from oracle to "everyone requests the maximum"
+// and reports what it does to waits and to the power-aware savings.
+#include <cstdio>
+
+#include "common.hpp"
+#include "metrics/metrics.hpp"
+#include "trace/estimates.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esched;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  std::printf("== Ablation: walltime-estimate quality ==\n");
+  Table table({"Trace", "Estimates", "Accuracy", "FCFS wait (s)",
+               "Greedy saving", "Knapsack saving"});
+  for (const auto which :
+       {bench::Workload::kAnlBgp, bench::Workload::kSdscBlue}) {
+    const trace::Trace base = bench::load_workload(which, opt);
+    const auto tariff = bench::make_tariff(opt);
+    const auto config = bench::make_sim_config(opt);
+
+    struct Variant {
+      std::string label;
+      trace::Trace trace;
+    };
+    const Variant variants[] = {
+        {"exact (oracle)", trace::with_exact_estimates(base)},
+        {"generator (1.1-3x)", base},
+        {"menu (round numbers)", trace::with_menu_estimates(base, 0.0, 3)},
+        {"menu + 30% sloppy", trace::with_menu_estimates(base, 0.3, 3)},
+        {"all request max", trace::with_menu_estimates(base, 1.0, 3)},
+    };
+    for (const Variant& v : variants) {
+      const auto results =
+          bench::run_all_policies(v.trace, *tariff, config);
+      table.add_row();
+      table.cell(bench::workload_name(which));
+      table.cell(v.label);
+      table.cell(trace::estimate_accuracy(v.trace), 2);
+      table.cell(results[0].mean_wait_seconds(), 1);
+      table.cell_percent(
+          metrics::bill_saving_percent(results[0], results[1]));
+      table.cell_percent(
+          metrics::bill_saving_percent(results[0], results[2]));
+    }
+  }
+  bench::emit(table, "estimate quality vs waits and savings", opt.csv);
+  return 0;
+}

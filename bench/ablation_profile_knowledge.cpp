@@ -1,0 +1,78 @@
+// Ablation (the paper's future work, §8): how good must the scheduler's
+// power-profile knowledge be? Sweeps the visibility spectrum — perfect
+// (the paper's assumption), online-learned from completions
+// (ProfileEstimator), noisy measurements, and profile-blind — and
+// measures what survives of the bill savings. Profiles are assigned with
+// per-user correlation 0.7 (repetitive jobs, per the paper's §3
+// argument), which is what makes learning possible.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/fcfs_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "power/profile.hpp"
+#include "power/profile_estimator.hpp"
+#include "power/visibility.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esched;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  std::printf("== Ablation: power-profile knowledge quality ==\n");
+  Table table({"Trace", "Visibility", "Greedy saving", "Knapsack saving"});
+  for (const auto which :
+       {bench::Workload::kAnlBgp, bench::Workload::kSdscBlue}) {
+    trace::Trace t = bench::load_workload(which, opt);
+    // Re-assign with user correlation so profiles are learnable.
+    power::ProfileConfig pcfg;
+    pcfg.ratio = opt.power_ratio;
+    pcfg.per_user_correlation = 0.7;
+    power::assign_profiles(t, pcfg, 77);
+
+    const auto tariff = bench::make_tariff(opt);
+    const auto config = bench::make_sim_config(opt);
+    core::FcfsPolicy fcfs;
+    const auto rf = sim::simulate(t, *tariff, fcfs, config);
+
+    auto run_with = [&](power::PowerVisibility* visibility,
+                        const std::string& label) {
+      core::GreedyPowerPolicy greedy;
+      core::KnapsackPolicy knapsack;
+      const auto rg = sim::simulate(t, *tariff, greedy, config, visibility);
+      const auto rk =
+          sim::simulate(t, *tariff, knapsack, config, visibility);
+      table.add_row();
+      table.cell(bench::workload_name(which));
+      table.cell(label);
+      table.cell_percent(metrics::bill_saving_percent(rf, rg));
+      table.cell_percent(metrics::bill_saving_percent(rf, rk));
+    };
+
+    run_with(nullptr, "perfect (paper)");
+    {
+      power::ProfileEstimator est;
+      run_with(&est, "online estimator");
+      std::printf("  [%s estimator: %zu observations, %.0f%% specific "
+                  "hits, %.0f%% defaults]\n",
+                  bench::workload_name(which).c_str(), est.observations(),
+                  est.specific_hit_rate() * 100.0,
+                  est.default_rate() * 100.0);
+    }
+    {
+      power::NoisyVisibility noisy10(0.10, 5);
+      run_with(&noisy10, "noisy +-10%");
+    }
+    {
+      power::NoisyVisibility noisy35(0.30, 5);
+      run_with(&noisy35, "noisy +-35%");
+    }
+    {
+      power::BlindVisibility blind(40.0);
+      run_with(&blind, "blind");
+    }
+  }
+  bench::emit(table, "bill savings vs profile knowledge", opt.csv);
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "power/profile.hpp"
+#include "trace/swf.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace esched::bench {
+
+Options parse_options(int argc, const char* const* argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  Options opt;
+  opt.months = static_cast<std::size_t>(args.get_int_or("months", 5));
+  opt.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 0));
+  opt.swf_path = args.get_or("swf", "");
+  opt.power_ratio = args.get_double_or("power-ratio", 3.0);
+  opt.price_ratio = args.get_double_or("price-ratio", 3.0);
+  opt.tick = args.get_int_or("tick", 10);
+  opt.window = static_cast<std::size_t>(args.get_int_or("window", 20));
+  opt.csv = args.has("csv");
+  ESCHED_REQUIRE(opt.months >= 1, "--months must be >= 1");
+  return opt;
+}
+
+trace::Trace load_workload(Workload which, const Options& opt) {
+  trace::Trace trace = [&] {
+    if (!opt.swf_path.empty()) return trace::swf::load_file(opt.swf_path);
+    const std::uint64_t canonical =
+        which == Workload::kSdscBlue ? 2001u : 2009u;
+    const std::uint64_t seed = opt.seed != 0 ? opt.seed : canonical;
+    return which == Workload::kSdscBlue
+               ? trace::make_sdsc_blue_like(opt.months, seed)
+               : trace::make_anl_bgp_like(opt.months, seed);
+  }();
+
+  // Assign the paper's synthetic power profiles unless the trace already
+  // carries real ones (a PowerColumn SWF).
+  bool has_power = false;
+  for (const trace::Job& j : trace.jobs()) {
+    if (j.power_per_node > 0.0) {
+      has_power = true;
+      break;
+    }
+  }
+  if (!has_power || opt.power_ratio != 3.0) {
+    power::ProfileConfig cfg;
+    cfg.ratio = opt.power_ratio;
+    if (has_power) {
+      power::rescale_profiles(trace, cfg.min_watts_per_node, cfg.ratio);
+    } else {
+      power::assign_profiles(trace, cfg,
+                             opt.seed != 0 ? opt.seed : 0xe5c4edULL);
+    }
+  }
+  return trace;
+}
+
+std::string workload_name(Workload which) {
+  return which == Workload::kSdscBlue ? "SDSC-BLUE" : "ANL-BGP";
+}
+
+std::unique_ptr<power::PricingModel> make_tariff(const Options& opt) {
+  return power::make_paper_tariff(opt.price_ratio);
+}
+
+sim::SimConfig make_sim_config(const Options& opt) {
+  sim::SimConfig cfg;
+  cfg.tick_interval = opt.tick;
+  cfg.scheduler.window_size = opt.window;
+  return cfg;
+}
+
+std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
+                                             const power::PricingModel& tariff,
+                                             const sim::SimConfig& config) {
+  core::FcfsPolicy fcfs;
+  core::GreedyPowerPolicy greedy;
+  core::KnapsackPolicy knapsack;
+  std::vector<sim::SimResult> results;
+  results.push_back(sim::simulate(trace, tariff, fcfs, config));
+  results.push_back(sim::simulate(trace, tariff, greedy, config));
+  results.push_back(sim::simulate(trace, tariff, knapsack, config));
+  return results;
+}
+
+Money bill_under_ratio(const sim::SimResult& result, Money off_price,
+                       double ratio) {
+  return off_price * (joules_to_kwh(result.energy_off_peak) +
+                      ratio * joules_to_kwh(result.energy_on_peak));
+}
+
+void emit(const Table& table, const std::string& title, bool csv) {
+  std::printf("\n%s\n", title.c_str());
+  std::fputs((csv ? table.render_csv() : table.render()).c_str(), stdout);
+}
+
+void print_header(const std::string& experiment, const trace::Trace& trace,
+                  const Options& opt) {
+  std::printf(
+      "== %s ==\ntrace=%s jobs=%zu nodes=%lld months=%zu "
+      "power-ratio=1:%.0f price-ratio=1:%.0f tick=%llds window=%zu\n",
+      experiment.c_str(), trace.name().c_str(), trace.size(),
+      static_cast<long long>(trace.system_nodes()), opt.months,
+      opt.power_ratio, opt.price_ratio, static_cast<long long>(opt.tick),
+      opt.window);
+}
+
+}  // namespace esched::bench

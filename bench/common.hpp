@@ -1,0 +1,81 @@
+// Shared machinery for the experiment binaries in bench/.
+//
+// Every bench reproduces one table or figure of the paper (see DESIGN.md's
+// per-experiment index). They all accept:
+//   --months N       trace length in 30-day months (default 5, as in the
+//                    paper's ANL-BGP/SDSC-BLUE evaluations)
+//   --seed S         generator seed (default: the trace's canonical seed)
+//   --swf PATH       use a real SWF trace instead of the synthetic one
+//                    (profiles are assigned unless the file carries the
+//                    PowerColumn extension)
+//   --power-ratio R  job power-profile max/min ratio (default 3)
+//   --price-ratio R  on/off-peak price ratio (default 3)
+//   --tick T         scheduling frequency in seconds (default 10)
+//   --window W       scheduling window size (default 20)
+//   --csv            emit CSV instead of ASCII tables
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/pricing.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace esched::bench {
+
+/// Which synthetic workload a bench runs on.
+enum class Workload { kSdscBlue, kAnlBgp };
+
+/// Parsed common options.
+struct Options {
+  std::size_t months = 5;
+  std::uint64_t seed = 0;  ///< 0 = workload-specific canonical seed
+  std::string swf_path;    ///< empty = synthetic
+  double power_ratio = 3.0;
+  double price_ratio = 3.0;
+  DurationSec tick = 10;
+  std::size_t window = 20;
+  bool csv = false;
+};
+
+/// Parse the shared flags (unknown flags are ignored so benches can add
+/// their own on top).
+Options parse_options(int argc, const char* const* argv);
+
+/// Build the workload: synthetic unless --swf was given. Power profiles
+/// are (re-)assigned with the requested ratio unless the SWF file carries
+/// its own power column and the ratio is left at the default.
+trace::Trace load_workload(Workload which, const Options& options);
+
+/// Human-readable workload name.
+std::string workload_name(Workload which);
+
+/// The paper's tariff at the requested ratio.
+std::unique_ptr<power::PricingModel> make_tariff(const Options& options);
+
+/// SimConfig from the shared options.
+sim::SimConfig make_sim_config(const Options& options);
+
+/// Run FCFS, Greedy and Knapsack over the trace; results in that order.
+std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
+                                             const power::PricingModel& tariff,
+                                             const sim::SimConfig& config);
+
+/// Recompute a result's total bill under a different on/off price ratio
+/// without re-simulating: the schedule depends only on the period
+/// boundaries, which are ratio-invariant, so bill(r) = off_price *
+/// (kWh_off + r * kWh_on).
+Money bill_under_ratio(const sim::SimResult& result, Money off_price,
+                       double ratio);
+
+/// Print a table in the format selected by --csv, preceded by `title`.
+void emit(const Table& table, const std::string& title, bool csv);
+
+/// Print the standard bench header line.
+void print_header(const std::string& experiment, const trace::Trace& trace,
+                  const Options& options);
+
+}  // namespace esched::bench

@@ -1,0 +1,28 @@
+// Fig. 4 reproduction: job size distributions of (A) ANL-BGP and (B)
+// SDSC-BLUE. The shape target: ANL-BGP is capability computing (38% of
+// jobs at 512 nodes, 19% at 1024, 8% at 2048); SDSC-BLUE is capacity
+// computing (71% of jobs below 32 nodes).
+#include <cstdio>
+
+#include "common.hpp"
+#include "trace/trace_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esched;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  for (const auto which :
+       {bench::Workload::kAnlBgp, bench::Workload::kSdscBlue}) {
+    const trace::Trace t = bench::load_workload(which, opt);
+    std::printf("\n== Fig. 4%s: job size distribution of %s ==\n",
+                which == bench::Workload::kAnlBgp ? "A" : "B",
+                bench::workload_name(which).c_str());
+    std::printf("jobs=%zu system=%lld nodes\n", t.size(),
+                static_cast<long long>(t.system_nodes()));
+    const CategoricalHistogram hist = trace::size_distribution(t);
+    std::fputs(hist.render("job size (nodes, power-of-two buckets)").c_str(),
+               stdout);
+    std::fputs(trace::monthly_summary(t).c_str(), stdout);
+  }
+  return 0;
+}

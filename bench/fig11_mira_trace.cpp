@@ -1,0 +1,55 @@
+// Fig. 11 reproduction: job characteristics of the Mira December-2012
+// case-study trace — submissions over the month, showing the
+// acceptance-testing half (large jobs) followed by the early-science half
+// (mostly single-rack jobs).
+#include <cstdio>
+
+#include "common.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/stats.hpp"
+#include "util/time_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esched;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  trace::MiraConfig mc;
+  const trace::Trace mira =
+      trace::make_mira_like(mc, opt.seed != 0 ? opt.seed : 2012);
+  std::printf("== Fig. 11: Mira December-2012 job characteristics ==\n");
+  std::printf("jobs=%zu racks=%lld nodes=%lld\n", mira.size(),
+              static_cast<long long>(mc.racks),
+              static_cast<long long>(mira.system_nodes()));
+
+  // Submissions per day with the mean job size — the scatter plot's
+  // content in table form.
+  Table table({"Day", "Jobs", "Mean racks", "Max racks", "Mean runtime",
+               "Mean kW/rack"});
+  for (std::int64_t day = 0; day < kDaysPerMonth; ++day) {
+    RunningStats racks;
+    RunningStats runtime;
+    RunningStats power;
+    for (const trace::Job& j : mira.jobs()) {
+      if (day_index(j.submit) != day) continue;
+      racks.add(static_cast<double>(j.nodes / mc.nodes_per_rack));
+      runtime.add(static_cast<double>(j.runtime));
+      power.add(j.power_per_node * static_cast<double>(mc.nodes_per_rack) /
+                1000.0);
+    }
+    table.add_row();
+    table.cell_int(day + 1);
+    table.cell_int(static_cast<long long>(racks.count()));
+    table.cell(racks.mean(), 1);
+    table.cell_int(static_cast<long long>(racks.max()));
+    table.cell(format_duration(static_cast<DurationSec>(runtime.mean())));
+    table.cell(power.mean(), 1);
+  }
+  bench::emit(table, "submissions by day (acceptance -> early science)",
+              opt.csv);
+
+  const CategoricalHistogram sizes = trace::size_distribution(mira);
+  std::fputs(sizes.render("\njob size distribution (nodes)").c_str(),
+             stdout);
+  return 0;
+}

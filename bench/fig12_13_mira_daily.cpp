@@ -1,0 +1,68 @@
+// Figs. 12 & 13 + the §7 case-study reproduction: Knapsack vs FCFS on the
+// Mira-like December-2012 trace at 10 s and 30 s scheduling frequencies.
+//
+// Outputs the average-daily (time-of-day) utilization curve (Fig. 12), the
+// average-daily power curve (Fig. 13), and the monthly bill saving.
+// Shape targets: off-peak (00:00-12:00) utilization and power are *higher*
+// under Knapsack than FCFS; on-peak curves are close (the early-science
+// half's jobs share one power profile, so there is nothing to reorder);
+// savings around 5.4% (10 s) and 9.98% (30 s) in the paper.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/fcfs_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+#include "trace/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esched;
+  const bench::Options opt = bench::parse_options(argc, argv);
+
+  trace::MiraConfig mc;
+  const trace::Trace mira =
+      trace::make_mira_like(mc, opt.seed != 0 ? opt.seed : 2012);
+  const auto tariff = bench::make_tariff(opt);
+
+  std::printf("== Figs. 12/13 + case study: Knapsack vs FCFS on Mira ==\n");
+  std::printf("jobs=%zu nodes=%lld price-ratio=1:%.0f\n", mira.size(),
+              static_cast<long long>(mira.system_nodes()), opt.price_ratio);
+
+  for (const DurationSec tick : {DurationSec{10}, DurationSec{30}}) {
+    sim::SimConfig config = bench::make_sim_config(opt);
+    config.tick_interval = tick;
+
+    core::FcfsPolicy fcfs;
+    core::KnapsackPolicy knapsack;
+    const sim::SimResult rf = sim::simulate(mira, *tariff, fcfs, config);
+    const sim::SimResult rk = sim::simulate(mira, *tariff, knapsack, config);
+    const std::vector<sim::SimResult> results{rf, rk};
+
+    std::printf("\n-- scheduling frequency %llds --\n",
+                static_cast<long long>(tick));
+    std::printf("monthly bill saving (Knapsack vs FCFS): %.2f%%\n",
+                metrics::bill_saving_percent(rf, rk));
+
+    bench::emit(
+        metrics::daily_curve_table(results, /*utilization_curve=*/true,
+                                   /*step=*/8, 100.0, "% util"),
+        "Fig. 12: average daily system utilization", opt.csv);
+    bench::emit(
+        metrics::daily_curve_table(results, /*utilization_curve=*/false,
+                                   /*step=*/8, 1e-6, "MW"),
+        "Fig. 13: average daily power consumption", opt.csv);
+
+    // Off-/on-peak decomposition to make the shift quantitative.
+    Table split({"Policy", "Off-peak MWh", "On-peak MWh", "Bill"});
+    for (const auto& r : results) {
+      split.add_row();
+      split.cell(r.policy_name);
+      split.cell(joules_to_kwh(r.energy_off_peak) / 1000.0);
+      split.cell(joules_to_kwh(r.energy_on_peak) / 1000.0);
+      split.cell(r.total_bill);
+    }
+    bench::emit(split, "energy placement by price period", opt.csv);
+  }
+  return 0;
+}

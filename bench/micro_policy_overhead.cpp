@@ -1,0 +1,102 @@
+// Micro-benchmark (google-benchmark): per-decision cost of the three
+// policies as the scheduling window grows — the overhead argument behind
+// the paper's §6.4 recommendation of 10-30 job windows. Greedy is
+// O(w log w); Knapsack is O(w * N_t / gcd).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace esched;
+
+std::vector<core::PendingJob> make_window(std::size_t size,
+                                          NodeCount system_nodes,
+                                          NodeCount granularity) {
+  Rng rng(size * 7919 + 13);
+  std::vector<core::PendingJob> window;
+  window.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const NodeCount max_units = std::max<NodeCount>(
+        1, system_nodes / granularity / 4);
+    core::PendingJob job;
+    job.id = static_cast<JobId>(i + 1);
+    job.submit = static_cast<TimeSec>(i);
+    job.nodes = granularity * rng.uniform_int(1, max_units);
+    job.walltime = rng.uniform_int(600, 7200);
+    job.power_per_node = rng.uniform(20.0, 60.0);
+    window.push_back(job);
+  }
+  return window;
+}
+
+core::ScheduleContext make_ctx(NodeCount system_nodes) {
+  return core::ScheduleContext{0, system_nodes / 2, system_nodes,
+                               power::PricePeriod::kOffPeak};
+}
+
+void BM_GreedyDecision(benchmark::State& state) {
+  const auto window =
+      make_window(static_cast<std::size_t>(state.range(0)), 2048, 1);
+  const auto ctx = make_ctx(2048);
+  core::GreedyPowerPolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.prioritize(window, ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyDecision)->RangeMultiplier(2)->Range(10, 320)->Complexity();
+
+void BM_KnapsackDecisionNodeGranular(benchmark::State& state) {
+  // A 2,048-node cluster scheduled at single-node granularity: the DP
+  // table is w x 1,024 cells (gcd 1).
+  const auto window =
+      make_window(static_cast<std::size_t>(state.range(0)), 2048, 1);
+  const auto ctx = make_ctx(2048);
+  core::KnapsackPolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.prioritize(window, ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnapsackDecisionNodeGranular)
+    ->RangeMultiplier(2)
+    ->Range(10, 320)
+    ->Complexity();
+
+void BM_KnapsackDecisionRackGranular(benchmark::State& state) {
+  // Mira-style: 49,152 nodes in 1,024-node racks; the gcd scaling
+  // collapses the DP to w x 24 cells.
+  const auto window =
+      make_window(static_cast<std::size_t>(state.range(0)), 48 * 1024, 1024);
+  const auto ctx = make_ctx(48 * 1024);
+  core::KnapsackPolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.prioritize(window, ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnapsackDecisionRackGranular)
+    ->RangeMultiplier(2)
+    ->Range(10, 320)
+    ->Complexity();
+
+void BM_FcfsDecision(benchmark::State& state) {
+  const auto window =
+      make_window(static_cast<std::size_t>(state.range(0)), 2048, 1);
+  const auto ctx = make_ctx(2048);
+  core::FcfsPolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.prioritize(window, ctx));
+  }
+}
+BENCHMARK(BM_FcfsDecision)->Arg(10)->Arg(100)->Arg(320);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Micro-benchmark (google-benchmark): end-to-end simulator throughput —
+// how many trace jobs per second the event engine processes under each
+// policy. Establishes that five-month, hundred-thousand-job studies run
+// in seconds (the reason the sweeps in bench/ are cheap).
+#include <benchmark/benchmark.h>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "power/profile.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace esched;
+
+const trace::Trace& shared_trace() {
+  static const trace::Trace t = [] {
+    trace::Trace raw = trace::make_anl_bgp_like(1, 99);
+    power::assign_profiles(raw, power::ProfileConfig{}, 99);
+    return raw;
+  }();
+  return t;
+}
+
+template <typename Policy>
+void run_sim(benchmark::State& state) {
+  const trace::Trace& t = shared_trace();
+  power::OnOffPeakPricing pricing(0.03, 3.0);
+  for (auto _ : state) {
+    Policy policy;
+    benchmark::DoNotOptimize(sim::simulate(t, pricing, policy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+
+void BM_SimulateMonthFcfs(benchmark::State& state) {
+  run_sim<core::FcfsPolicy>(state);
+}
+void BM_SimulateMonthGreedy(benchmark::State& state) {
+  run_sim<core::GreedyPowerPolicy>(state);
+}
+void BM_SimulateMonthKnapsack(benchmark::State& state) {
+  run_sim<core::KnapsackPolicy>(state);
+}
+
+BENCHMARK(BM_SimulateMonthFcfs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateMonthGreedy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateMonthKnapsack)->Unit(benchmark::kMillisecond);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace::make_sdsc_blue_like(1, static_cast<std::uint64_t>(
+                                          state.iterations() + 1)));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Capability vs capacity computing: the paper's §6.1 observation that the
+// power-aware design saves more on big-job (capability) workloads like
+// ANL-BGP than on small-job (capacity) workloads like SDSC-BLUE.
+//
+//   $ ./capability_vs_capacity [--months N]
+#include <cstdio>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "power/profile.hpp"
+#include "power/pricing.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace esched;
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const auto months =
+      static_cast<std::size_t>(args.get_int_or("months", 3));
+
+  const auto tariff = power::make_paper_tariff(3.0);
+  Table table({"Workload", "Style", "Jobs", "Greedy saving",
+               "Knapsack saving", "Util change (G)", "Util change (K)"});
+
+  for (int which = 0; which < 2; ++which) {
+    trace::Trace t = which == 0 ? trace::make_anl_bgp_like(months)
+                                : trace::make_sdsc_blue_like(months);
+    power::assign_profiles(t, power::ProfileConfig{}, 7);
+
+    core::FcfsPolicy fcfs;
+    core::GreedyPowerPolicy greedy;
+    core::KnapsackPolicy knapsack;
+    const auto rf = sim::simulate(t, *tariff, fcfs);
+    const auto rg = sim::simulate(t, *tariff, greedy);
+    const auto rk = sim::simulate(t, *tariff, knapsack);
+
+    table.add_row();
+    table.cell(t.name());
+    table.cell(which == 0 ? "capability (big jobs)" : "capacity (small jobs)");
+    table.cell_int(static_cast<long long>(t.size()));
+    table.cell_percent(metrics::bill_saving_percent(rf, rg));
+    table.cell_percent(metrics::bill_saving_percent(rf, rk));
+    table.cell_percent((metrics::overall_utilization(rg) -
+                        metrics::overall_utilization(rf)) *
+                       100.0);
+    table.cell_percent((metrics::overall_utilization(rk) -
+                        metrics::overall_utilization(rf)) *
+                       100.0);
+  }
+
+  std::printf(
+      "Power-aware scheduling on two workload archetypes (%zu months, "
+      "power 1:3, price 1:3):\n\n%s\n"
+      "Big capability jobs give the scheduler coarse, high-power units to\n"
+      "place against the tariff, so the savings are larger; tiny capacity\n"
+      "jobs mostly schedule themselves. Utilization is preserved in both\n"
+      "cases (the paper's hard constraint).\n",
+      months, table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The paper's §7 case study as a runnable walkthrough: a Mira-like
+// 48-rack BG/Q December-2012 month, Knapsack vs FCFS, with the daily
+// utilization/power curves and the bill at 10 s and 30 s scheduling
+// frequencies.
+//
+//   $ ./mira_case_study [--jobs N] [--seed S]
+#include <cstdio>
+
+#include "core/fcfs_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
+#include "power/pricing.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cli.hpp"
+
+using namespace esched;
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  trace::MiraConfig mc;
+  mc.job_count = static_cast<std::size_t>(args.get_int_or("jobs", 3333));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 2012));
+
+  const trace::Trace mira = trace::make_mira_like(mc, seed);
+  const auto tariff = power::make_paper_tariff(3.0);
+
+  std::printf(
+      "Mira case study: %zu jobs on %lld racks, December-2012 pattern\n"
+      "(first half: large acceptance jobs; second half: single-rack early\n"
+      "science). Per-job power measured in kW/rack as in the paper's "
+      "Fig. 1.\n",
+      mira.size(), static_cast<long long>(mc.racks));
+
+  for (const DurationSec tick : {DurationSec{10}, DurationSec{30}}) {
+    sim::SimConfig config;
+    config.tick_interval = tick;
+    core::FcfsPolicy fcfs;
+    core::KnapsackPolicy knapsack;
+    const auto rf = sim::simulate(mira, *tariff, fcfs, config);
+    const auto rk = sim::simulate(mira, *tariff, knapsack, config);
+
+    std::printf("\n--- scheduling frequency: %lld s ---\n",
+                static_cast<long long>(tick));
+    std::printf("  %s\n  %s\n", metrics::summary_line(rf).c_str(),
+                metrics::summary_line(rk).c_str());
+    std::printf("  monthly bill saving: %.2f%% (paper: 5.4%% at 10 s, "
+                "9.98%% at 30 s)\n",
+                metrics::bill_saving_percent(rf, rk));
+
+    const std::vector<sim::SimResult> results{rf, rk};
+    std::fputs(metrics::daily_curve_table(results, true, 12, 100.0, "% util")
+                   .render()
+                   .c_str(),
+               stdout);
+  }
+
+  std::printf(
+      "\nReading the curves: during off-peak hours (00:00-12:00) the\n"
+      "Knapsack scheduler packs in the power-hungry acceptance jobs, so\n"
+      "its utilization and power run above FCFS; during on-peak hours the\n"
+      "single-rack early-science jobs all look alike and the two\n"
+      "schedulers converge — exactly the Fig. 12/13 pattern.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Quickstart: the five-job example from the paper's §3, simulated end to
+// end. Shows the core API in ~60 lines: build a trace, pick a tariff,
+// run policies, compare bills.
+//
+//   $ ./quickstart
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "power/pricing.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+#include "util/time_util.hpp"
+
+using namespace esched;
+
+namespace {
+
+// The paper's example: five jobs on a 12-node machine, submitted just
+// before noon (the on-peak boundary).
+trace::Trace make_example_trace() {
+  trace::Trace t("paper-example", 12);
+  struct Spec {
+    JobId id;
+    Watts power;
+    NodeCount nodes;
+  };
+  // J0..J4 with the table's power profiles and sizes.
+  const Spec specs[] = {
+      {0, 50.0, 6}, {1, 20.0, 3}, {2, 40.0, 3}, {3, 30.0, 3}, {4, 10.0, 6},
+  };
+  // Submit at 20:00: the first wave runs through the expensive evening,
+  // the second wave lands after midnight in the cheap off-peak hours.
+  const TimeSec evening = 20 * kSecondsPerHour;
+  for (const Spec& s : specs) {
+    trace::Job j;
+    j.id = s.id;
+    j.submit = evening;
+    j.nodes = s.nodes;
+    j.runtime = 4 * kSecondsPerHour;
+    j.walltime = j.runtime;
+    j.power_per_node = s.power;
+    t.add_job(j);
+  }
+  return t;
+}
+
+void run(core::SchedulingPolicy& policy, const trace::Trace& t,
+         const power::PricingModel& tariff) {
+  const sim::SimResult r = sim::simulate(t, tariff, policy);
+  std::printf("%-9s bill=$%.4f  dispatch order:", r.policy_name.c_str(),
+              r.total_bill);
+  // Sort records by start time to show the dispatch sequence.
+  std::vector<sim::JobRecord> by_start = r.records;
+  std::sort(by_start.begin(), by_start.end(),
+            [](const sim::JobRecord& a, const sim::JobRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.id < b.id;
+            });
+  for (const auto& rec : by_start) {
+    std::printf(" J%lld@%s", static_cast<long long>(rec.id),
+                format_time_of_day(second_of_day(rec.start)).c_str());
+  }
+  std::printf("  (utilization %.1f%%)\n",
+              metrics::overall_utilization(r) * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  const trace::Trace t = make_example_trace();
+  const auto tariff = power::make_paper_tariff(3.0);
+
+  std::printf(
+      "Paper §3 example: 12-node machine, 5 jobs submitted at 20:00.\n"
+      "On-peak noon-midnight at 3x the off-peak price; the first wave\n"
+      "(20:00-24:00) is billed on-peak, the second (00:00-04:00) "
+      "off-peak.\n\n");
+
+  core::FcfsPolicy fcfs;
+  core::GreedyPowerPolicy greedy;
+  core::KnapsackPolicy knapsack;
+  run(fcfs, t, *tariff);
+  run(greedy, t, *tariff);
+  run(knapsack, t, *tariff);
+
+  std::printf(
+      "\nThe power-aware policies run the cool jobs (J4, J1, J3) during the\n"
+      "expensive on-peak evening and push the hot ones (J0, J2) later,\n"
+      "cutting the bill without leaving nodes idle.\n");
+  return 0;
+}

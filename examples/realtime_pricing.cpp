@@ -1,0 +1,77 @@
+// Extension example: real-time (hourly) wholesale pricing. The paper
+// motivates dynamic pricing with hourly markets whose prices swing up to
+// 10x within a day [Qureshi'09] but evaluates a two-level tariff; this
+// example runs the same policies against an hourly price tape and shows
+// the design transfers: the scheduler only needs period_at() to say
+// "cheap now or not".
+//
+//   $ ./realtime_pricing [--months N]
+#include <cstdio>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "power/profile.hpp"
+#include "power/pricing.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace esched;
+
+namespace {
+
+// A stylised 24-hour wholesale tape ($/kWh): cheap overnight, morning
+// ramp, afternoon peak, evening shoulder — about an 8x daily swing.
+std::vector<Money> wholesale_day() {
+  return {0.022, 0.020, 0.019, 0.019, 0.021, 0.025, 0.035, 0.055,
+          0.075, 0.090, 0.105, 0.120, 0.135, 0.150, 0.155, 0.145,
+          0.130, 0.110, 0.095, 0.080, 0.060, 0.045, 0.032, 0.025};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const auto months =
+      static_cast<std::size_t>(args.get_int_or("months", 2));
+
+  trace::Trace t = trace::make_anl_bgp_like(months);
+  power::assign_profiles(t, power::ProfileConfig{}, 11);
+
+  power::HourlyPriceSeries hourly(wholesale_day());
+  const auto two_level = power::make_paper_tariff(3.0);
+
+  Table table({"Tariff", "Policy", "Bill", "Saving vs FCFS"});
+  for (int which = 0; which < 2; ++which) {
+    const power::PricingModel& tariff =
+        which == 0 ? static_cast<const power::PricingModel&>(*two_level)
+                   : static_cast<const power::PricingModel&>(hourly);
+    core::FcfsPolicy fcfs;
+    core::GreedyPowerPolicy greedy;
+    core::KnapsackPolicy knapsack;
+    const auto rf = sim::simulate(t, tariff, fcfs);
+    const auto rg = sim::simulate(t, tariff, greedy);
+    const auto rk = sim::simulate(t, tariff, knapsack);
+    for (const auto* r : {&rf, &rg, &rk}) {
+      table.add_row();
+      table.cell(tariff.name());
+      table.cell(r->policy_name);
+      table.cell(r->total_bill);
+      table.cell_percent(metrics::bill_saving_percent(rf, *r));
+    }
+  }
+
+  std::printf(
+      "Dynamic-pricing tariffs on the ANL-BGP-like workload (%zu months):\n"
+      "\n%s\n"
+      "Under the hourly tape the scheduler classifies hours above the\n"
+      "median price as on-peak; the billing meter integrates the exact\n"
+      "hourly prices either way. The power-aware policies keep saving —\n"
+      "the mechanism needs only a cheap/expensive signal, not the paper's\n"
+      "idealised two-level tariff.\n",
+      months, table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "core/fcfs_policy.hpp"
+
+#include <numeric>
+
+namespace esched::core {
+
+std::string FcfsPolicy::name() const { return "FCFS"; }
+
+std::vector<std::size_t> FcfsPolicy::prioritize(
+    std::span<const PendingJob> window, const ScheduleContext&) {
+  // The window arrives in queue (arrival) order; keep it.
+  std::vector<std::size_t> order(window.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+}  // namespace esched::core

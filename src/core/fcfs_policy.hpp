@@ -1,0 +1,19 @@
+// The baseline: first-come-first-serve. Combined with the scheduler's
+// strict-order dispatch path this is "FCFS with (EASY) backfilling", the
+// production policy the paper compares against [Feitelson & Weil '98].
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace esched::core {
+
+/// Arrival-order policy; requests strict-order (EASY) dispatch.
+class FcfsPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override;
+  std::vector<std::size_t> prioritize(std::span<const PendingJob> window,
+                                      const ScheduleContext& ctx) override;
+  bool strict_order() const override { return true; }
+};
+
+}  // namespace esched::core

@@ -1,0 +1,141 @@
+#include "core/knapsack.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace esched::core {
+
+namespace {
+
+// Scale weights by gcd(all weights, capacity) to shrink the DP table.
+std::int64_t common_divisor(std::span<const KnapsackItem> items,
+                            std::int64_t capacity) {
+  std::int64_t g = capacity;
+  for (const auto& item : items) g = std::gcd(g, item.weight);
+  return g > 0 ? g : 1;
+}
+
+// Lexicographic comparison for kMaximizeWeightMinimizeValue: is (w1, v1)
+// better than (w2, v2)?
+bool fill_better(std::int64_t w1, double v1, std::int64_t w2, double v2) {
+  if (w1 != w2) return w1 > w2;
+  return v1 < v2;
+}
+
+}  // namespace
+
+KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
+                                std::int64_t capacity,
+                                KnapsackObjective objective) {
+  ESCHED_REQUIRE(capacity >= 0, "knapsack capacity must be >= 0");
+  for (const auto& item : items) {
+    ESCHED_REQUIRE(item.weight > 0, "knapsack weights must be positive");
+    ESCHED_REQUIRE(item.value >= 0.0, "knapsack values must be >= 0");
+  }
+
+  KnapsackSolution solution;
+  if (capacity == 0 || items.empty()) return solution;
+
+  const std::int64_t gcd = common_divisor(items, capacity);
+  const auto cap = static_cast<std::size_t>(capacity / gcd);
+  const std::size_t n = items.size();
+
+  // DP over capacities. For kMaximizeValue: best[w] = max value using
+  // capacity exactly <= w (classic relaxed form). For the fill objective we
+  // track best (weight, value) pairs per capacity bound. `taken[i][w]` is
+  // the reconstruction table: did item i join the optimum for bound w?
+  // Memory: n * (cap+1) bytes — window <= a few hundred, cap <= system
+  // nodes / gcd, i.e. a few MiB worst case.
+  std::vector<double> best_value(cap + 1, 0.0);
+  std::vector<std::int64_t> best_weight(cap + 1, 0);
+  std::vector<std::vector<std::uint8_t>> taken(
+      n, std::vector<std::uint8_t>(cap + 1, 0));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w_i = static_cast<std::size_t>(items[i].weight / gcd);
+    const double v_i = items[i].value;
+    if (w_i > cap) continue;
+    // Descending capacity loop: each item used at most once.
+    for (std::size_t w = cap; w >= w_i; --w) {
+      const double cand_value = best_value[w - w_i] + v_i;
+      const std::int64_t cand_weight =
+          best_weight[w - w_i] + items[i].weight;
+      bool better;
+      if (objective == KnapsackObjective::kMaximizeValue) {
+        better = cand_value > best_value[w];
+      } else {
+        better = fill_better(cand_weight, cand_value, best_weight[w],
+                             best_value[w]);
+      }
+      if (better) {
+        best_value[w] = cand_value;
+        best_weight[w] = cand_weight;
+        taken[i][w] = 1;
+      }
+      if (w == w_i) break;  // std::size_t cannot go below 0
+    }
+  }
+
+  // Reconstruct by walking items backwards from the full capacity.
+  std::size_t w = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (taken[i][w]) {
+      solution.chosen.push_back(i);
+      solution.total_weight += items[i].weight;
+      solution.total_value += items[i].value;
+      w -= static_cast<std::size_t>(items[i].weight / gcd);
+    }
+  }
+  std::reverse(solution.chosen.begin(), solution.chosen.end());
+  return solution;
+}
+
+KnapsackSolution solve_knapsack_bruteforce(std::span<const KnapsackItem> items,
+                                           std::int64_t capacity,
+                                           KnapsackObjective objective) {
+  ESCHED_REQUIRE(items.size() <= 25, "brute force limited to 25 items");
+  ESCHED_REQUIRE(capacity >= 0, "knapsack capacity must be >= 0");
+  const std::size_t n = items.size();
+  std::uint32_t best_mask = 0;
+  std::int64_t best_w = 0;
+  double best_v = 0.0;
+  bool have_best = false;
+
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::int64_t w = 0;
+    double v = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        w += items[i].weight;
+        v += items[i].value;
+      }
+    }
+    if (w > capacity) continue;
+    bool better;
+    if (!have_best) {
+      better = true;
+    } else if (objective == KnapsackObjective::kMaximizeValue) {
+      better = v > best_v;
+    } else {
+      better = fill_better(w, v, best_w, best_v);
+    }
+    if (better) {
+      best_mask = mask;
+      best_w = w;
+      best_v = v;
+      have_best = true;
+    }
+  }
+
+  KnapsackSolution solution;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best_mask & (1u << i)) solution.chosen.push_back(i);
+  }
+  solution.total_weight = best_w;
+  solution.total_value = best_v;
+  return solution;
+}
+
+}  // namespace esched::core

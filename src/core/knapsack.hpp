@@ -1,0 +1,63 @@
+// Reusable 0-1 knapsack solver (the paper's Eq. 2 dynamic program).
+//
+// Items have integral weights (node counts) and real values (aggregate
+// power n_i * p_i). The solver supports both objectives the paper needs:
+// maximise value (off-peak) and "fill-then-minimise" (on-peak: maximise
+// node usage, breaking ties by minimum aggregate power — the paper's
+// "minimise the total value ... with the constraint of knapsack size"
+// combined with its utilization rule, which forbids leaving a fitting job
+// unscheduled). Weights are divided by their GCD with the capacity first,
+// which keeps the DP table small on rack-granular machines like Mira
+// (weights in multiples of 1,024 nodes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace esched::core {
+
+/// One knapsack item.
+struct KnapsackItem {
+  std::int64_t weight = 0;  ///< nodes requested; must be > 0
+  double value = 0.0;       ///< aggregate power; must be >= 0
+};
+
+/// Solver result: chosen item indices (ascending), total weight and value.
+struct KnapsackSolution {
+  std::vector<std::size_t> chosen;
+  std::int64_t total_weight = 0;
+  double total_value = 0.0;
+};
+
+/// Objective variants.
+enum class KnapsackObjective {
+  /// Maximise total value subject to the capacity (Eq. 2 as written; the
+  /// paper's off-peak selection). All values >= 0, so the optimum is
+  /// automatically maximal: no unchosen item fits in the leftover space.
+  kMaximizeValue,
+  /// Lexicographically (max total weight, then min total value): pack as
+  /// many nodes as possible, preferring the cheapest-power packing. The
+  /// paper's on-peak selection under the no-idle-nodes rule.
+  kMaximizeWeightMinimizeValue,
+};
+
+/// Solve 0-1 knapsack over `items` with the given capacity and objective.
+/// O(items * capacity / gcd) time and space. Items with weight > capacity
+/// are never chosen. Deterministic: among equal-objective solutions the
+/// DP prefers *not* taking later items, so earlier (lower-index = older)
+/// jobs win ties.
+KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
+                                std::int64_t capacity,
+                                KnapsackObjective objective);
+
+/// Exponential-time exact reference (<= ~25 items) used by tests to verify
+/// the DP. Ties may be broken differently than solve_knapsack; compare
+/// objective values (total_weight/total_value), not chosen sets.
+KnapsackSolution solve_knapsack_bruteforce(std::span<const KnapsackItem> items,
+                                           std::int64_t capacity,
+                                           KnapsackObjective objective);
+
+}  // namespace esched::core

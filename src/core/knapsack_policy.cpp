@@ -1,0 +1,38 @@
+#include "core/knapsack_policy.hpp"
+
+#include <algorithm>
+
+namespace esched::core {
+
+std::string KnapsackPolicy::name() const { return "Knapsack"; }
+
+KnapsackSolution KnapsackPolicy::select(std::span<const PendingJob> window,
+                                        const ScheduleContext& ctx) const {
+  std::vector<KnapsackItem> items;
+  items.reserve(window.size());
+  for (const PendingJob& job : window) {
+    items.push_back({job.nodes, job.total_power()});
+  }
+  const auto objective = ctx.period == power::PricePeriod::kOnPeak
+                             ? KnapsackObjective::kMaximizeWeightMinimizeValue
+                             : KnapsackObjective::kMaximizeValue;
+  return solve_knapsack(items, ctx.free_nodes, objective);
+}
+
+std::vector<std::size_t> KnapsackPolicy::prioritize(
+    std::span<const PendingJob> window, const ScheduleContext& ctx) {
+  const KnapsackSolution solution = select(window, ctx);
+  std::vector<bool> chosen(window.size(), false);
+  for (const std::size_t i : solution.chosen) chosen[i] = true;
+
+  std::vector<std::size_t> order;
+  order.reserve(window.size());
+  // `chosen` indices are ascending == arrival order within the window.
+  for (std::size_t i = 0; i < window.size(); ++i)
+    if (chosen[i]) order.push_back(i);
+  for (std::size_t i = 0; i < window.size(); ++i)
+    if (!chosen[i]) order.push_back(i);
+  return order;
+}
+
+}  // namespace esched::core

@@ -1,0 +1,21 @@
+#include "core/policy.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace esched::core {
+
+void require_permutation(std::span<const std::size_t> order, std::size_t n) {
+  ESCHED_REQUIRE(order.size() == n,
+                 "policy returned " + std::to_string(order.size()) +
+                     " indices for a window of " + std::to_string(n));
+  std::vector<bool> seen(n, false);
+  for (const std::size_t idx : order) {
+    ESCHED_REQUIRE(idx < n, "policy returned out-of-range index");
+    ESCHED_REQUIRE(!seen[idx], "policy returned duplicate index");
+    seen[idx] = true;
+  }
+}
+
+}  // namespace esched::core

@@ -1,0 +1,30 @@
+#include "core/powercap_policy.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace esched::core {
+
+PowerCapPolicy::PowerCapPolicy(Watts on_peak_budget_watts)
+    : budget_(on_peak_budget_watts) {
+  ESCHED_REQUIRE(budget_ > 0.0, "power budget must be positive");
+}
+
+std::string PowerCapPolicy::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "PowerCap(%.0fkW)", budget_ / 1000.0);
+  return buf;
+}
+
+std::vector<std::size_t> PowerCapPolicy::prioritize(
+    std::span<const PendingJob> window, const ScheduleContext& ctx) {
+  return greedy_.prioritize(window, ctx);
+}
+
+Watts PowerCapPolicy::power_budget(const ScheduleContext& ctx) const {
+  return ctx.period == power::PricePeriod::kOnPeak ? budget_
+                                                   : kNoPowerBudget;
+}
+
+}  // namespace esched::core

@@ -1,0 +1,37 @@
+// Power-capping baseline (the approach of the authors' earlier work,
+// Zhou et al., JSSPP'13 [30], which this paper explicitly moves away
+// from): during on-peak pricing the scheduler enforces an aggregate power
+// budget — power-frugal jobs first, and nothing starts once the budget is
+// reached, even with nodes idle. Off-peak it behaves like the Greedy
+// policy with no cap.
+//
+// The paper's critique is that the budget "degrades system utilization
+// slightly during on-peak periods"; this policy exists so the comparison
+// can be run (bench/ablation_powercap) rather than taken on faith.
+#pragma once
+
+#include "core/greedy_policy.hpp"
+#include "core/policy.hpp"
+
+namespace esched::core {
+
+/// Greedy power ordering plus an on-peak aggregate power budget.
+class PowerCapPolicy final : public SchedulingPolicy {
+ public:
+  /// `on_peak_budget_watts` caps total running power during on-peak
+  /// periods; must be positive. Off-peak is uncapped.
+  explicit PowerCapPolicy(Watts on_peak_budget_watts);
+
+  std::string name() const override;
+  std::vector<std::size_t> prioritize(std::span<const PendingJob> window,
+                                      const ScheduleContext& ctx) override;
+  Watts power_budget(const ScheduleContext& ctx) const override;
+
+  Watts on_peak_budget() const { return budget_; }
+
+ private:
+  GreedyPowerPolicy greedy_;
+  Watts budget_;
+};
+
+}  // namespace esched::core

@@ -1,0 +1,123 @@
+#include "metrics/export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "metrics/metrics.hpp"
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace esched::metrics {
+
+namespace {
+
+// Minimal JSON string escaping (we only emit ASCII policy/trace names,
+// but be correct anyway).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_jobs_csv(std::ostream& out, const sim::SimResult& result) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "id,user,submit,start,finish,wait,nodes,power_per_node\n";
+  for (const sim::JobRecord& r : result.records) {
+    out << r.id << ',' << r.user << ',' << r.submit << ',' << r.start
+        << ',' << r.finish << ',' << r.wait() << ',' << r.nodes << ','
+        << r.power_per_node << '\n';
+  }
+}
+
+void write_daily_bills_csv(std::ostream& out, const sim::SimResult& result) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "day,bill\n";
+  for (std::size_t day = 0; day < result.daily_bills.size(); ++day) {
+    out << day << ',' << result.daily_bills[day] << '\n';
+  }
+}
+
+void write_daily_curves_csv(std::ostream& out, const sim::SimResult& result) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  ESCHED_REQUIRE(!result.power_curve.empty() &&
+                     result.power_curve.size() ==
+                         result.utilization_curve.size(),
+                 "result carries no daily curves");
+  out << "second_of_day,power_watts,utilization\n";
+  const auto bins = result.power_curve.size();
+  const DurationSec width =
+      kSecondsPerDay / static_cast<DurationSec>(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out << static_cast<DurationSec>(b) * width << ','
+        << result.power_curve[b] << ',' << result.utilization_curve[b]
+        << '\n';
+  }
+}
+
+void write_summary_json(std::ostream& out, const sim::SimResult& result) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\n"
+      << "  \"policy\": \"" << json_escape(result.policy_name) << "\",\n"
+      << "  \"trace\": \"" << json_escape(result.trace_name) << "\",\n"
+      << "  \"system_nodes\": " << result.system_nodes << ",\n"
+      << "  \"jobs\": " << result.records.size() << ",\n"
+      << "  \"horizon_begin\": " << result.horizon_begin << ",\n"
+      << "  \"horizon_end\": " << result.horizon_end << ",\n"
+      << "  \"total_bill\": " << result.total_bill << ",\n"
+      << "  \"bill_on_peak\": " << result.bill_on_peak << ",\n"
+      << "  \"bill_off_peak\": " << result.bill_off_peak << ",\n"
+      << "  \"total_energy_joules\": " << result.total_energy << ",\n"
+      << "  \"energy_on_peak_joules\": " << result.energy_on_peak << ",\n"
+      << "  \"energy_off_peak_joules\": " << result.energy_off_peak << ",\n"
+      << "  \"utilization\": " << overall_utilization(result) << ",\n"
+      << "  \"mean_wait_seconds\": " << result.mean_wait_seconds() << ",\n"
+      << "  \"scheduling_passes\": " << result.scheduling_passes << ",\n"
+      << "  \"ticks_processed\": " << result.ticks_processed << "\n"
+      << "}\n";
+}
+
+void export_all(const std::string& prefix, const sim::SimResult& result) {
+  const auto open = [](const std::string& path) {
+    std::ofstream out(path);
+    ESCHED_REQUIRE(out.good(), "cannot write " + path);
+    return out;
+  };
+  {
+    auto out = open(prefix + "_jobs.csv");
+    write_jobs_csv(out, result);
+  }
+  {
+    auto out = open(prefix + "_daily.csv");
+    write_daily_bills_csv(out, result);
+  }
+  if (!result.power_curve.empty()) {
+    auto out = open(prefix + "_curves.csv");
+    write_daily_curves_csv(out, result);
+  }
+  {
+    auto out = open(prefix + "_summary.json");
+    write_summary_json(out, result);
+  }
+}
+
+}  // namespace esched::metrics

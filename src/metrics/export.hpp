@@ -1,0 +1,34 @@
+// Machine-readable export of simulation results: per-job CSV, daily-bill
+// CSV, time-of-day curve CSV, and a JSON summary. Downstream analysis
+// (plotting the paper's figures with real tooling) starts here.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/result.hpp"
+
+namespace esched::metrics {
+
+/// One row per job: id, user, submit, start, finish, wait, nodes,
+/// power_per_node. Header included.
+void write_jobs_csv(std::ostream& out, const sim::SimResult& result);
+
+/// One row per day: day index, bill.
+void write_daily_bills_csv(std::ostream& out, const sim::SimResult& result);
+
+/// One row per time-of-day bin: seconds-of-day, power watts, utilization
+/// fraction. Requires the result to carry curves (record_daily_curves).
+void write_daily_curves_csv(std::ostream& out, const sim::SimResult& result);
+
+/// A flat JSON object with the scalar summary of a run: policy, trace,
+/// bill/energy totals and per-period splits, utilization, mean wait.
+/// Stable key order; no external JSON dependency.
+void write_summary_json(std::ostream& out, const sim::SimResult& result);
+
+/// Convenience: write all four files under `prefix` ("<prefix>_jobs.csv",
+/// "_daily.csv", "_curves.csv", "_summary.json"); curve file is skipped
+/// when curves were not recorded.
+void export_all(const std::string& prefix, const sim::SimResult& result);
+
+}  // namespace esched::metrics

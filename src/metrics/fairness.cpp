@@ -1,0 +1,63 @@
+#include "metrics/fairness.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace esched::metrics {
+
+double bounded_slowdown(const sim::JobRecord& record, DurationSec tau) {
+  ESCHED_REQUIRE(tau > 0, "tau must be positive");
+  const auto run = static_cast<double>(record.finish - record.start);
+  const auto wait = static_cast<double>(record.wait());
+  const double denom = std::max(run, static_cast<double>(tau));
+  return std::max(1.0, (wait + run) / denom);
+}
+
+double jain_index(std::span<const double> values) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    ESCHED_REQUIRE(v >= 0.0, "jain_index needs non-negative values");
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (values.empty() || sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+FairnessReport fairness_report(const sim::SimResult& result,
+                               DurationSec tau) {
+  FairnessReport report;
+  if (result.records.empty()) return report;
+
+  std::vector<double> slowdowns;
+  slowdowns.reserve(result.records.size());
+  for (const sim::JobRecord& r : result.records) {
+    slowdowns.push_back(bounded_slowdown(r, tau));
+    report.max_wait = std::max(report.max_wait, r.wait());
+  }
+  RunningStats stats;
+  for (const double s : slowdowns) stats.add(s);
+  report.mean_bounded_slowdown = stats.mean();
+  report.max_bounded_slowdown = stats.max();
+  report.p95_bounded_slowdown = quantile(slowdowns, 0.95);
+
+  std::map<int, RunningStats> per_user;
+  for (const sim::JobRecord& r : result.records) {
+    per_user[r.user].add(static_cast<double>(r.wait()));
+  }
+  std::vector<double> user_means;
+  user_means.reserve(per_user.size());
+  for (const auto& [user, user_stats] : per_user) {
+    (void)user;
+    user_means.push_back(user_stats.mean());
+  }
+  report.jain_index_user_wait = jain_index(user_means);
+  report.users = per_user.size();
+  return report;
+}
+
+}  // namespace esched::metrics

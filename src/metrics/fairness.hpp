@@ -1,0 +1,41 @@
+// Fairness and responsiveness metrics beyond the paper's three (§5.5):
+// the window mechanism claims to preserve "job fairness", and these
+// quantify that claim. Bounded slowdown is the standard responsiveness
+// metric of the parallel-scheduling literature [Feitelson]; Jain's index
+// summarises how evenly wait time is spread across users.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/result.hpp"
+
+namespace esched::metrics {
+
+/// Bounded slowdown of one job: (wait + run) / max(run, tau), clamped
+/// below at 1. tau (default 10 s) stops sub-second jobs from dominating.
+double bounded_slowdown(const sim::JobRecord& record,
+                        DurationSec tau = 10);
+
+/// Summary of a schedule's responsiveness/fairness.
+struct FairnessReport {
+  double mean_bounded_slowdown = 0.0;
+  double p95_bounded_slowdown = 0.0;
+  double max_bounded_slowdown = 0.0;
+  DurationSec max_wait = 0;
+  /// Jain's fairness index over per-user mean waits: 1 = perfectly even,
+  /// 1/n = one user absorbs everything. 1 when there are no users.
+  double jain_index_user_wait = 1.0;
+  std::size_t users = 0;
+};
+
+/// Compute the report from a simulation result.
+FairnessReport fairness_report(const sim::SimResult& result,
+                               DurationSec tau = 10);
+
+/// Jain's fairness index of an arbitrary non-negative vector:
+/// (sum x)^2 / (n * sum x^2); 1.0 for empty or all-zero input.
+double jain_index(std::span<const double> values);
+
+}  // namespace esched::metrics

@@ -1,0 +1,40 @@
+// Report rendering shared by the experiment binaries: paper-style tables
+// comparing policies month by month, and ASCII time-of-day curve plots for
+// the Fig. 12/13 reproductions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/result.hpp"
+#include "util/table.hpp"
+
+namespace esched::metrics {
+
+/// Fig. 5/6-style table: one row per month, one column per policy, cells
+/// are monthly utilization percentages. `results[0]` is the baseline.
+Table monthly_utilization_table(std::span<const sim::SimResult> results,
+                                std::size_t months);
+
+/// Fig. 7/8-style table: monthly bill saving of each non-baseline policy
+/// vs `results[0]`, plus an "average" footer row (mean of monthly savings,
+/// matching how the paper reports averages).
+Table monthly_saving_table(std::span<const sim::SimResult> results,
+                           std::size_t months);
+
+/// Fig. 9/10-style table: monthly mean wait seconds per policy.
+Table monthly_wait_table(std::span<const sim::SimResult> results,
+                         std::size_t months);
+
+/// One-line summary of a result (policy, bill, utilization, mean wait).
+std::string summary_line(const sim::SimResult& result);
+
+/// ASCII plot of time-of-day curves (one column of values per result) at
+/// `step` bins per printed row. `scale` converts raw curve values for
+/// display (e.g. 1e-6 for W -> MW); `unit` labels the column.
+Table daily_curve_table(std::span<const sim::SimResult> results,
+                        bool utilization_curve, std::size_t step,
+                        double scale, const std::string& unit);
+
+}  // namespace esched::metrics

@@ -1,0 +1,84 @@
+#include "power/billing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/time_util.hpp"
+
+namespace esched::power {
+
+BillingMeter::BillingMeter(const PricingModel& pricing, TimeSec start,
+                           const FacilityModel* facility)
+    : pricing_(pricing), facility_(facility), cursor_(start) {}
+
+void BillingMeter::set_power(TimeSec t, Watts watts) {
+  ESCHED_REQUIRE(!finished_, "BillingMeter already finished");
+  ESCHED_REQUIRE(t >= cursor_, "BillingMeter fed out-of-order time");
+  ESCHED_REQUIRE(watts >= 0.0, "negative system power");
+  integrate_to(t);
+  power_ = watts;
+}
+
+void BillingMeter::finish(TimeSec t) {
+  ESCHED_REQUIRE(!finished_, "BillingMeter already finished");
+  ESCHED_REQUIRE(t >= cursor_, "BillingMeter fed out-of-order time");
+  integrate_to(t);
+  finished_ = true;
+}
+
+void BillingMeter::integrate_to(TimeSec t) {
+  while (cursor_ < t) {
+    // Split at price changes *and* day boundaries: per-day bills need the
+    // day split even when the price is continuous across midnight.
+    const TimeSec price_edge = pricing_.next_price_change(cursor_);
+    ESCHED_REQUIRE(price_edge > cursor_,
+                   "pricing model returned a non-advancing boundary");
+    const TimeSec day_edge = start_of_day(cursor_) + kSecondsPerDay;
+    const TimeSec seg_end = std::min({t, price_edge, day_edge});
+
+    const auto seconds = static_cast<double>(seg_end - cursor_);
+    const Watts billed_watts =
+        facility_ != nullptr ? facility_->facility_watts(power_, cursor_)
+                             : power_;
+    const Joules joules = billed_watts * seconds;
+    const Money price = pricing_.price_at(cursor_);
+    const Money cost = joules_to_kwh(joules) * price;
+
+    energy_total_ += joules;
+    it_energy_total_ += power_ * seconds;
+    bill_total_ += cost;
+    if (pricing_.period_at(cursor_) == PricePeriod::kOnPeak) {
+      energy_on_ += joules;
+      bill_on_ += cost;
+    } else {
+      energy_off_ += joules;
+      bill_off_ += cost;
+    }
+    const auto day = static_cast<std::size_t>(day_index(cursor_));
+    if (daily_.size() <= day) daily_.resize(day + 1, 0.0);
+    daily_[day] += cost;
+
+    cursor_ = seg_end;
+  }
+}
+
+Money BillingMeter::bill_in(PricePeriod period) const {
+  return period == PricePeriod::kOnPeak ? bill_on_ : bill_off_;
+}
+
+Joules BillingMeter::energy_in(PricePeriod period) const {
+  return period == PricePeriod::kOnPeak ? energy_on_ : energy_off_;
+}
+
+std::vector<Money> BillingMeter::monthly_bills(std::size_t months) const {
+  ESCHED_REQUIRE(months > 0, "need at least one month");
+  std::vector<Money> out(months, 0.0);
+  for (std::size_t day = 0; day < daily_.size(); ++day) {
+    const std::size_t m =
+        std::min(months - 1, day / static_cast<std::size_t>(kDaysPerMonth));
+    out[m] += daily_[day];
+  }
+  return out;
+}
+
+}  // namespace esched::power

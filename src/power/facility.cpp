@@ -1,0 +1,43 @@
+#include "power/facility.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace esched::power {
+
+ConstantPue::ConstantPue(double pue) : pue_(pue) {
+  ESCHED_REQUIRE(pue_ >= 1.0, "PUE below 1 is unphysical");
+}
+
+Watts ConstantPue::facility_watts(Watts it_watts, TimeSec) const {
+  return it_watts * pue_;
+}
+
+std::string ConstantPue::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "pue(%.2f)", pue_);
+  return buf;
+}
+
+PeriodPue::PeriodPue(const PricingModel& tariff, double off_peak_pue,
+                     double on_peak_pue)
+    : tariff_(tariff), off_pue_(off_peak_pue), on_pue_(on_peak_pue) {
+  ESCHED_REQUIRE(off_pue_ >= 1.0 && on_pue_ >= 1.0,
+                 "PUE below 1 is unphysical");
+}
+
+Watts PeriodPue::facility_watts(Watts it_watts, TimeSec t) const {
+  const double pue =
+      tariff_.period_at(t) == PricePeriod::kOnPeak ? on_pue_ : off_pue_;
+  return it_watts * pue;
+}
+
+std::string PeriodPue::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "pue(off=%.2f,on=%.2f)", off_pue_,
+                on_pue_);
+  return buf;
+}
+
+}  // namespace esched::power

@@ -1,0 +1,68 @@
+// Facility power models: what the utility actually bills.
+//
+// The meter so far integrates IT power; a real data center also pays for
+// cooling and distribution losses, summarised as PUE (power usage
+// effectiveness = facility watts / IT watts, typically 1.1-2.0).
+// Crucially, cooling is *worse in the afternoon* — exactly the on-peak
+// hours — so a PUE that tracks the tariff period amplifies the paper's
+// savings mechanism. PeriodPue models that; ConstantPue is the
+// conventional flat multiplier.
+//
+// Exactness contract: BillingMeter integrates piecewise-constant segments
+// split at price changes and day boundaries, so a facility model must be
+// constant *within* those segments — i.e. its value may depend on the
+// price period and the calendar day, but not on finer structure. Both
+// provided models satisfy this by construction.
+#pragma once
+
+#include <string>
+
+#include "power/pricing.hpp"
+#include "util/types.hpp"
+
+namespace esched::power {
+
+/// Maps IT power to facility (billed) power at a given time.
+class FacilityModel {
+ public:
+  virtual ~FacilityModel() = default;
+
+  /// Facility watts drawn when the IT equipment draws `it_watts` at `t`.
+  /// Must be constant within any interval where the associated tariff's
+  /// price and the calendar day are constant (see header).
+  virtual Watts facility_watts(Watts it_watts, TimeSec t) const = 0;
+
+  /// Display name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Flat PUE: facility = pue * IT.
+class ConstantPue final : public FacilityModel {
+ public:
+  explicit ConstantPue(double pue);
+  Watts facility_watts(Watts it_watts, TimeSec t) const override;
+  std::string name() const override;
+  double pue() const { return pue_; }
+
+ private:
+  double pue_;
+};
+
+/// Period-tracking PUE: one value during the tariff's off-peak hours
+/// (cool nights), a higher one during on-peak (hot afternoons). Keyed on
+/// the same tariff the meter bills, so segment-constancy holds exactly.
+class PeriodPue final : public FacilityModel {
+ public:
+  /// `tariff` must outlive this model. Typical values: off 1.15, on 1.45.
+  PeriodPue(const PricingModel& tariff, double off_peak_pue,
+            double on_peak_pue);
+  Watts facility_watts(Watts it_watts, TimeSec t) const override;
+  std::string name() const override;
+
+ private:
+  const PricingModel& tariff_;
+  double off_pue_;
+  double on_pue_;
+};
+
+}  // namespace esched::power

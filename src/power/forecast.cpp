@@ -1,0 +1,54 @@
+#include "power/forecast.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace esched::power {
+
+MisforecastTariff::MisforecastTariff(const PricingModel& truth,
+                                     double error_rate, std::uint64_t seed,
+                                     DurationSec bucket)
+    : truth_(truth), error_rate_(error_rate), seed_(seed), bucket_(bucket) {
+  ESCHED_REQUIRE(error_rate_ >= 0.0 && error_rate_ <= 1.0,
+                 "error rate outside [0,1]");
+  ESCHED_REQUIRE(bucket_ > 0, "forecast bucket must be positive");
+}
+
+bool MisforecastTariff::flipped_at(TimeSec t) const {
+  if (error_rate_ <= 0.0) return false;
+  // One deterministic uniform draw per bucket.
+  std::uint64_t h =
+      seed_ ^ (0x9e3779b97f4a7c15ULL *
+               (static_cast<std::uint64_t>(t / bucket_) + 1));
+  Rng rng(splitmix64(h));
+  return rng.uniform() < error_rate_;
+}
+
+Money MisforecastTariff::price_at(TimeSec t) const {
+  return truth_.price_at(t);
+}
+
+PricePeriod MisforecastTariff::period_at(TimeSec t) const {
+  const PricePeriod actual = truth_.period_at(t);
+  if (!flipped_at(t)) return actual;
+  return actual == PricePeriod::kOnPeak ? PricePeriod::kOffPeak
+                                        : PricePeriod::kOnPeak;
+}
+
+TimeSec MisforecastTariff::next_price_change(TimeSec t) const {
+  // The forecast can change at bucket edges even when the truth doesn't.
+  const TimeSec bucket_edge = (t / bucket_ + 1) * bucket_;
+  return std::min(truth_.next_price_change(t), bucket_edge);
+}
+
+std::string MisforecastTariff::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "misforecast(%.0f%%, %s)",
+                error_rate_ * 100.0, truth_.name().c_str());
+  return buf;
+}
+
+}  // namespace esched::power

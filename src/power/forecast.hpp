@@ -1,0 +1,46 @@
+// Price-period forecast error.
+//
+// A production deployment schedules against a day-ahead tariff forecast,
+// not an oracle. MisforecastTariff wraps a ground-truth tariff and flips
+// the *period classification* the scheduler sees with a configurable
+// error rate, one decision per forecast bucket (default: hourly),
+// deterministically in (bucket, seed). Billing is untouched — price_at()
+// passes the true price through — so using this as the simulation tariff
+// means "the scheduler misjudges cheap/expensive windows, the meter
+// doesn't". Note the on-/off-peak *attribution* of energy in SimResult
+// follows the forecast (it is classified via period_at); total bills are
+// always ground truth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "power/pricing.hpp"
+
+namespace esched::power {
+
+/// Wraps a tariff with deterministic period-forecast errors.
+class MisforecastTariff final : public PricingModel {
+ public:
+  /// Flip the wrapped tariff's period with probability `error_rate` in
+  /// each `bucket` of time (seconds; default 1 hour). `truth` must
+  /// outlive this object.
+  MisforecastTariff(const PricingModel& truth, double error_rate,
+                    std::uint64_t seed, DurationSec bucket = 3600);
+
+  Money price_at(TimeSec t) const override;        // ground truth
+  PricePeriod period_at(TimeSec t) const override; // possibly flipped
+  TimeSec next_price_change(TimeSec t) const override;
+  std::string name() const override;
+
+  /// Whether the forecast at time t is wrong (exposed for tests).
+  bool flipped_at(TimeSec t) const;
+
+ private:
+  const PricingModel& truth_;
+  double error_rate_;
+  std::uint64_t seed_;
+  DurationSec bucket_;
+};
+
+}  // namespace esched::power

@@ -1,0 +1,63 @@
+#include "power/profile.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace esched::power {
+
+void assign_profiles(trace::Trace& trace, const ProfileConfig& cfg,
+                     std::uint64_t seed) {
+  ESCHED_REQUIRE(cfg.min_watts_per_node > 0.0,
+                 "minimum power must be positive");
+  ESCHED_REQUIRE(cfg.ratio >= 1.0, "power ratio must be >= 1");
+  ESCHED_REQUIRE(cfg.per_user_correlation >= 0.0 &&
+                     cfg.per_user_correlation <= 1.0,
+                 "per_user_correlation outside [0,1]");
+
+  const Watts lo = cfg.min_watts_per_node;
+  const Watts hi = cfg.max_watts_per_node();
+  const double mean = 0.5 * (lo + hi);
+  const double sd = (hi - lo) / 6.0;
+
+  Rng rng(seed);
+  std::unordered_map<int, double> user_mean;
+  for (trace::Job& j : trace.mutable_jobs()) {
+    double draw;
+    if (hi == lo) {
+      draw = lo;
+    } else {
+      draw = rng.truncated_normal(mean, sd, lo, hi);
+      if (cfg.per_user_correlation > 0.0) {
+        auto [it, inserted] = user_mean.try_emplace(j.user, 0.0);
+        if (inserted) it->second = rng.truncated_normal(mean, sd, lo, hi);
+        draw = cfg.per_user_correlation * it->second +
+               (1.0 - cfg.per_user_correlation) * draw;
+      }
+    }
+    j.power_per_node = draw;
+  }
+}
+
+void rescale_profiles(trace::Trace& trace, Watts new_min, double new_ratio) {
+  ESCHED_REQUIRE(new_min > 0.0, "minimum power must be positive");
+  ESCHED_REQUIRE(new_ratio >= 1.0, "power ratio must be >= 1");
+  Watts old_lo = 1e300;
+  Watts old_hi = -1e300;
+  for (const trace::Job& j : trace.jobs()) {
+    old_lo = std::min(old_lo, j.power_per_node);
+    old_hi = std::max(old_hi, j.power_per_node);
+  }
+  if (trace.empty()) return;
+  const Watts new_max = new_min * new_ratio;
+  for (trace::Job& j : trace.mutable_jobs()) {
+    const double q = old_hi > old_lo
+                         ? (j.power_per_node - old_lo) / (old_hi - old_lo)
+                         : 0.5;
+    j.power_per_node = new_min + q * (new_max - new_min);
+  }
+}
+
+}  // namespace esched::power

@@ -1,0 +1,63 @@
+#include "power/profile_estimator.hpp"
+
+#include "util/error.hpp"
+
+namespace esched::power {
+
+ProfileEstimator::ProfileEstimator() : ProfileEstimator(Config{}) {}
+
+ProfileEstimator::ProfileEstimator(Config config) : config_(config) {
+  ESCHED_REQUIRE(config_.default_watts > 0.0,
+                 "default power must be positive");
+  ESCHED_REQUIRE(config_.min_samples >= 1, "min_samples must be >= 1");
+}
+
+int ProfileEstimator::size_class(NodeCount nodes) {
+  ESCHED_REQUIRE(nodes > 0, "size class of non-positive node count");
+  int cls = 0;
+  NodeCount edge = 1;
+  while (edge < nodes) {
+    edge *= 2;
+    ++cls;
+  }
+  return cls;
+}
+
+Watts ProfileEstimator::visible_power_per_node(const trace::Job& job) {
+  ++predictions_;
+  const auto key = std::make_pair(job.user, size_class(job.nodes));
+  if (const auto it = by_user_class_.find(key);
+      it != by_user_class_.end() && it->second.count() >= config_.min_samples) {
+    ++specific_hits_;
+    return it->second.mean();
+  }
+  if (const auto it = by_user_.find(job.user);
+      it != by_user_.end() && it->second.count() >= config_.min_samples) {
+    return it->second.mean();
+  }
+  if (global_.count() >= config_.min_samples) return global_.mean();
+  ++default_falls_;
+  return config_.default_watts;
+}
+
+void ProfileEstimator::on_job_complete(const trace::Job& job) {
+  ++observations_;
+  const Watts truth = job.power_per_node;
+  by_user_class_[{job.user, size_class(job.nodes)}].add(truth);
+  by_user_[job.user].add(truth);
+  global_.add(truth);
+}
+
+double ProfileEstimator::specific_hit_rate() const {
+  return predictions_ > 0 ? static_cast<double>(specific_hits_) /
+                                static_cast<double>(predictions_)
+                          : 0.0;
+}
+
+double ProfileEstimator::default_rate() const {
+  return predictions_ > 0 ? static_cast<double>(default_falls_) /
+                                static_cast<double>(predictions_)
+                          : 0.0;
+}
+
+}  // namespace esched::power

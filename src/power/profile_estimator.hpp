@@ -1,0 +1,64 @@
+// Online power-profile learning — the paper's future-work item
+// ("integrating our design with the work on environmental data analysis
+// ... for automatically obtaining job power profiles").
+//
+// Rationale from §3: HPC jobs are repetitive and identifiable by user and
+// size, so a batch scheduler can learn profiles from history. The
+// estimator keeps running means at three granularities and predicts with
+// the most specific one that has enough samples:
+//   (user, size-class)  ->  user  ->  global  ->  configured default.
+// Size classes are power-of-two node buckets (matching how partitioned
+// machines allocate). Plugged into the simulator as a PowerVisibility, it
+// starts ignorant and converges as jobs complete; the ablation bench
+// measures how quickly the savings follow.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "power/visibility.hpp"
+#include "util/stats.hpp"
+
+namespace esched::power {
+
+/// Learns per-(user, size-class) mean power from completed jobs.
+class ProfileEstimator final : public PowerVisibility {
+ public:
+  struct Config {
+    /// Prediction when no history exists at any granularity.
+    Watts default_watts = 40.0;
+    /// Samples a bucket needs before its mean is trusted.
+    std::size_t min_samples = 3;
+  };
+
+  ProfileEstimator();  // default Config
+  explicit ProfileEstimator(Config config);
+
+  Watts visible_power_per_node(const trace::Job& job) override;
+  void on_job_complete(const trace::Job& job) override;
+  std::string name() const override { return "estimator"; }
+
+  /// Completed jobs observed so far.
+  std::size_t observations() const { return observations_; }
+  /// Fraction of predictions served from the most specific bucket.
+  double specific_hit_rate() const;
+  /// Fraction of predictions that fell through to the default.
+  double default_rate() const;
+
+  /// Power-of-two size class of a node count (0 for 1 node, 1 for 2,
+  /// 2 for 3-4, ...). Exposed for tests.
+  static int size_class(NodeCount nodes);
+
+ private:
+  Config config_;
+  std::map<std::pair<int, int>, RunningStats> by_user_class_;
+  std::map<int, RunningStats> by_user_;
+  RunningStats global_;
+  std::size_t observations_ = 0;
+  std::size_t predictions_ = 0;
+  std::size_t specific_hits_ = 0;
+  std::size_t default_falls_ = 0;
+};
+
+}  // namespace esched::power

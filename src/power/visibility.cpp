@@ -1,0 +1,30 @@
+#include "power/visibility.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace esched::power {
+
+NoisyVisibility::NoisyVisibility(double sigma_log, std::uint64_t seed)
+    : sigma_(sigma_log), seed_(seed) {
+  ESCHED_REQUIRE(sigma_ >= 0.0, "noise sigma must be >= 0");
+}
+
+Watts NoisyVisibility::visible_power_per_node(const trace::Job& job) {
+  // A per-job deterministic draw: seed a tiny generator from (seed, id).
+  std::uint64_t h = seed_ ^ (0x9e3779b97f4a7c15ULL *
+                             static_cast<std::uint64_t>(job.id + 1));
+  Rng rng(splitmix64(h));
+  const double factor = std::exp(rng.normal(0.0, sigma_));
+  return job.power_per_node * factor;
+}
+
+std::string NoisyVisibility::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "noisy(sigma=%.2f)", sigma_);
+  return buf;
+}
+
+}  // namespace esched::power

@@ -1,0 +1,77 @@
+// What the scheduler *believes* about job power, decoupled from what the
+// electricity meter bills.
+//
+// The paper assumes the batch scheduler knows each job's power profile
+// (extracted from historical data, §3) and lists automatic profile
+// extraction as future work. This seam makes that assumption a variable:
+// the simulator asks a PowerVisibility for the per-node watts the
+// scheduler sees when prioritising, while billing always uses the trace's
+// ground truth. Implementations model perfect knowledge, measurement
+// noise, profile-blind scheduling, and online learning
+// (power/profile_estimator.hpp).
+#pragma once
+
+#include "trace/job.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace esched::power {
+
+/// The scheduler's view of job power. Stateful implementations learn from
+/// completions; all implementations must be deterministic.
+class PowerVisibility {
+ public:
+  virtual ~PowerVisibility() = default;
+
+  /// Per-node watts the scheduler should assume for this job.
+  virtual Watts visible_power_per_node(const trace::Job& job) = 0;
+
+  /// Ground-truth feedback when a job completes (power measured by the
+  /// machine's environmental sensors, as on BG/Q).
+  virtual void on_job_complete(const trace::Job& job) { (void)job; }
+
+  /// Display name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Perfect knowledge (the paper's assumption; also the simulator default).
+class TruthVisibility final : public PowerVisibility {
+ public:
+  Watts visible_power_per_node(const trace::Job& job) override {
+    return job.power_per_node;
+  }
+  std::string name() const override { return "truth"; }
+};
+
+/// Profile-blind scheduling: every job looks like `assumed_watts`. Under
+/// this view the power-aware policies lose their signal entirely — the
+/// floor of the estimation-quality sweep.
+class BlindVisibility final : public PowerVisibility {
+ public:
+  explicit BlindVisibility(Watts assumed_watts = 40.0)
+      : assumed_(assumed_watts) {}
+  Watts visible_power_per_node(const trace::Job&) override {
+    return assumed_;
+  }
+  std::string name() const override { return "blind"; }
+
+ private:
+  Watts assumed_;
+};
+
+/// Multiplicative lognormal measurement error: each job's visible power
+/// is truth * exp(N(0, sigma)), fixed per job (deterministic in the job
+/// id and seed, so repeated queries agree).
+class NoisyVisibility final : public PowerVisibility {
+ public:
+  /// `sigma_log` ~ relative error scale (0.1 ≈ ±10%, 0.3 ≈ ±35%).
+  NoisyVisibility(double sigma_log, std::uint64_t seed);
+  Watts visible_power_per_node(const trace::Job& job) override;
+  std::string name() const override;
+
+ private:
+  double sigma_;
+  std::uint64_t seed_;
+};
+
+}  // namespace esched::power

@@ -1,0 +1,148 @@
+#include "sim/allocator.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace esched::sim {
+
+// ------------------------------------------------------------ Counting --
+
+CountingAllocator::CountingAllocator(NodeCount total_nodes,
+                                     Watts idle_watts_per_node)
+    : cluster_(total_nodes, idle_watts_per_node) {}
+
+NodeCount CountingAllocator::total_nodes() const {
+  return cluster_.total_nodes();
+}
+
+NodeCount CountingAllocator::free_nodes() const {
+  return cluster_.free_nodes();
+}
+
+bool CountingAllocator::can_allocate(NodeCount nodes) const {
+  return cluster_.fits(nodes);
+}
+
+bool CountingAllocator::try_allocate(JobId job, NodeCount nodes,
+                                     Watts watts_per_node) {
+  if (!cluster_.fits(nodes)) return false;
+  cluster_.allocate(job, nodes, watts_per_node);
+  return true;
+}
+
+void CountingAllocator::release(JobId job) { cluster_.release(job); }
+
+Watts CountingAllocator::current_power() const {
+  return cluster_.current_power();
+}
+
+// ---------------------------------------------------------- Contiguous --
+
+ContiguousAllocator::ContiguousAllocator(NodeCount total_nodes,
+                                         Watts idle_watts_per_node)
+    : total_(total_nodes),
+      free_(total_nodes),
+      idle_watts_per_node_(idle_watts_per_node) {
+  ESCHED_REQUIRE(total_ > 0, "allocator needs at least one node");
+  ESCHED_REQUIRE(idle_watts_per_node_ >= 0.0, "negative idle power");
+}
+
+NodeCount ContiguousAllocator::total_nodes() const { return total_; }
+
+NodeCount ContiguousAllocator::free_nodes() const { return free_; }
+
+std::pair<NodeCount, bool> ContiguousAllocator::best_fit(
+    NodeCount nodes) const {
+  NodeCount best_start = 0;
+  NodeCount best_len = std::numeric_limits<NodeCount>::max();
+  bool found = false;
+  NodeCount cursor = 0;
+  auto consider = [&](NodeCount hole_start, NodeCount hole_len) {
+    if (hole_len >= nodes && hole_len < best_len) {
+      best_start = hole_start;
+      best_len = hole_len;
+      found = true;
+    }
+  };
+  for (const auto& [start, alloc] : by_start_) {
+    if (start > cursor) consider(cursor, start - cursor);
+    cursor = start + alloc.length;
+  }
+  if (cursor < total_) consider(cursor, total_ - cursor);
+  return {best_start, found};
+}
+
+bool ContiguousAllocator::can_allocate(NodeCount nodes) const {
+  ESCHED_REQUIRE(nodes > 0, "allocation must take nodes");
+  return best_fit(nodes).second;
+}
+
+bool ContiguousAllocator::try_allocate(JobId job, NodeCount nodes,
+                                       Watts watts_per_node) {
+  ESCHED_REQUIRE(nodes > 0, "allocation must take nodes");
+  ESCHED_REQUIRE(watts_per_node >= 0.0, "negative job power");
+  ESCHED_REQUIRE(job_to_start_.find(job) == job_to_start_.end(),
+                 "job " + std::to_string(job) + " is already running");
+  const auto [start, found] = best_fit(nodes);
+  if (!found) return false;
+  by_start_.emplace(start, Allocation{start, nodes, watts_per_node});
+  job_to_start_.emplace(job, start);
+  free_ -= nodes;
+  busy_power_ += watts_per_node * static_cast<double>(nodes);
+  return true;
+}
+
+void ContiguousAllocator::release(JobId job) {
+  const auto it = job_to_start_.find(job);
+  ESCHED_REQUIRE(it != job_to_start_.end(),
+                 "release of non-running job " + std::to_string(job));
+  const auto block = by_start_.find(it->second);
+  ESCHED_REQUIRE(block != by_start_.end(), "allocator state corrupted");
+  free_ += block->second.length;
+  busy_power_ -= block->second.watts_per_node *
+                 static_cast<double>(block->second.length);
+  if (busy_power_ < 0.0) busy_power_ = 0.0;
+  by_start_.erase(block);
+  job_to_start_.erase(it);
+}
+
+Watts ContiguousAllocator::current_power() const {
+  return busy_power_ + idle_watts_per_node_ * static_cast<double>(free_);
+}
+
+NodeCount ContiguousAllocator::largest_hole() const {
+  NodeCount best = 0;
+  NodeCount cursor = 0;
+  for (const auto& [start, alloc] : by_start_) {
+    best = std::max(best, start - cursor);
+    cursor = start + alloc.length;
+  }
+  return std::max(best, total_ - cursor);
+}
+
+std::size_t ContiguousAllocator::hole_count() const {
+  std::size_t holes = 0;
+  NodeCount cursor = 0;
+  for (const auto& [start, alloc] : by_start_) {
+    if (start > cursor) ++holes;
+    cursor = start + alloc.length;
+  }
+  if (cursor < total_) ++holes;
+  return holes;
+}
+
+// -------------------------------------------------------------- Factory --
+
+std::unique_ptr<NodeAllocator> make_allocator(bool contiguous,
+                                              NodeCount total_nodes,
+                                              Watts idle_watts_per_node) {
+  if (contiguous) {
+    return std::make_unique<ContiguousAllocator>(total_nodes,
+                                                 idle_watts_per_node);
+  }
+  return std::make_unique<CountingAllocator>(total_nodes,
+                                             idle_watts_per_node);
+}
+
+}  // namespace esched::sim

@@ -1,0 +1,44 @@
+#include "sim/cluster.hpp"
+
+#include "util/error.hpp"
+
+namespace esched::sim {
+
+Cluster::Cluster(NodeCount total_nodes, Watts idle_watts_per_node)
+    : total_(total_nodes),
+      free_(total_nodes),
+      idle_watts_per_node_(idle_watts_per_node) {
+  ESCHED_REQUIRE(total_ > 0, "cluster needs at least one node");
+  ESCHED_REQUIRE(idle_watts_per_node_ >= 0.0, "negative idle power");
+}
+
+void Cluster::allocate(JobId job, NodeCount nodes, Watts watts_per_node) {
+  ESCHED_REQUIRE(nodes > 0, "allocation must take nodes");
+  ESCHED_REQUIRE(watts_per_node >= 0.0, "negative job power");
+  ESCHED_REQUIRE(fits(nodes), "allocation exceeds free nodes (job " +
+                                  std::to_string(job) + ")");
+  const bool inserted =
+      allocations_.emplace(job, Allocation{nodes, watts_per_node}).second;
+  ESCHED_REQUIRE(inserted,
+                 "job " + std::to_string(job) + " is already running");
+  free_ -= nodes;
+  busy_power_ += watts_per_node * static_cast<double>(nodes);
+}
+
+void Cluster::release(JobId job) {
+  const auto it = allocations_.find(job);
+  ESCHED_REQUIRE(it != allocations_.end(),
+                 "release of non-running job " + std::to_string(job));
+  free_ += it->second.nodes;
+  busy_power_ -=
+      it->second.watts_per_node * static_cast<double>(it->second.nodes);
+  if (busy_power_ < 0.0) busy_power_ = 0.0;  // guard fp drift at empty
+  allocations_.erase(it);
+  ESCHED_REQUIRE(free_ <= total_, "node accounting corrupted");
+}
+
+Watts Cluster::current_power() const {
+  return busy_power_ + idle_watts_per_node_ * static_cast<double>(free_);
+}
+
+}  // namespace esched::sim

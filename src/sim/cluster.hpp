@@ -1,0 +1,56 @@
+// The machine model: a space-shared pool of identical nodes.
+//
+// The paper's scheduling mechanism is deliberately generic ("for various
+// HPC systems"): allocation is by node count only, with no topology
+// constraints (their earlier Blue Gene-specific work handled partition
+// shapes; this paper drops that requirement). The cluster tracks free
+// nodes, per-job allocations, and the aggregate electrical power of the
+// running mix, including an optional idle power per free node.
+#pragma once
+
+#include <unordered_map>
+
+#include "util/types.hpp"
+
+namespace esched::sim {
+
+/// Space-shared node pool with power accounting.
+class Cluster {
+ public:
+  /// A machine of `total_nodes` nodes; `idle_watts_per_node` is drawn by
+  /// every free node (the paper sets this to 0 and shows the relative
+  /// results are insensitive to it; see the ablation bench).
+  explicit Cluster(NodeCount total_nodes, Watts idle_watts_per_node = 0.0);
+
+  NodeCount total_nodes() const { return total_; }
+  NodeCount free_nodes() const { return free_; }
+  NodeCount busy_nodes() const { return total_ - free_; }
+  std::size_t running_jobs() const { return allocations_.size(); }
+
+  /// True if `nodes` more nodes can be allocated right now.
+  bool fits(NodeCount nodes) const { return nodes <= free_; }
+
+  /// Allocate `nodes` nodes to job `job` drawing `watts_per_node` each.
+  /// Throws if the job is already running or does not fit.
+  void allocate(JobId job, NodeCount nodes, Watts watts_per_node);
+
+  /// Release job `job`'s nodes. Throws if it is not running.
+  void release(JobId job);
+
+  /// Aggregate electrical power right now: running jobs plus idle draw.
+  Watts current_power() const;
+
+ private:
+  struct Allocation {
+    NodeCount nodes;
+    Watts watts_per_node;
+  };
+
+  NodeCount total_;
+  NodeCount free_;
+  Watts idle_watts_per_node_;
+  Watts busy_power_ = 0.0;  ///< sum over running jobs of nodes*watts
+  std::unordered_map<JobId, Allocation> allocations_;
+};
+
+}  // namespace esched::sim

@@ -1,0 +1,23 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace esched::sim {
+
+void EventQueue::push(TimeSec time, EventType type, std::size_t payload) {
+  heap_.push(Event{time, type, payload, next_seq_++});
+}
+
+const Event& EventQueue::top() const {
+  ESCHED_REQUIRE(!heap_.empty(), "top() on empty EventQueue");
+  return heap_.top();
+}
+
+Event EventQueue::pop() {
+  ESCHED_REQUIRE(!heap_.empty(), "pop() on empty EventQueue");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace esched::sim

@@ -1,0 +1,62 @@
+// The discrete-event core: a stable min-heap of simulation events.
+//
+// Ordering at equal timestamps matters for correctness: job completions
+// must release nodes before a scheduler tick runs, and same-time
+// submissions must be visible to that tick. EventType's enumerator order
+// encodes exactly that priority; a monotone sequence number breaks the
+// remaining ties so the simulation is fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace esched::sim {
+
+/// Kinds of simulation events, in same-timestamp processing order.
+enum class EventType : std::uint8_t {
+  kJobFinish = 0,  ///< a running job completes (frees nodes first)
+  kJobSubmit = 1,  ///< a job arrives into the wait queue
+  kTick = 2,       ///< periodic scheduler invocation (sees the new state)
+};
+
+/// One simulation event. `payload` is a job index for submit/finish and
+/// unused for ticks.
+struct Event {
+  TimeSec time = 0;
+  EventType type = EventType::kTick;
+  std::size_t payload = 0;
+  std::uint64_t seq = 0;  ///< insertion order; final tie-breaker
+};
+
+/// Stable min-heap of events (earliest time first; see EventType for the
+/// same-time ordering).
+class EventQueue {
+ public:
+  /// Add an event; `seq` is assigned internally.
+  void push(TimeSec time, EventType type, std::size_t payload = 0);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// The earliest event without removing it. Requires non-empty.
+  const Event& top() const;
+
+  /// Remove and return the earliest event. Requires non-empty.
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.type != b.type) return a.type > b.type;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace esched::sim

@@ -1,0 +1,80 @@
+// Simulation outputs: per-job records plus billing, energy and time-of-day
+// aggregates. Everything downstream (metrics, benches) is computed from
+// this value type, so two SimResults fully determine a paper comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace esched::sim {
+
+/// The lifecycle of one completed job.
+struct JobRecord {
+  JobId id = 0;
+  TimeSec submit = 0;
+  TimeSec start = 0;
+  TimeSec finish = 0;
+  NodeCount nodes = 0;
+  Watts power_per_node = 0.0;
+  int user = 0;
+
+  /// Queue wait (the paper's user-centric metric, §5.5).
+  DurationSec wait() const { return start - submit; }
+  /// Node-seconds of useful computation.
+  double node_seconds() const {
+    return static_cast<double>(nodes) * static_cast<double>(finish - start);
+  }
+};
+
+/// Everything a simulation run produces.
+struct SimResult {
+  std::string policy_name;
+  std::string trace_name;
+  NodeCount system_nodes = 0;
+
+  /// Accounting horizon: first submission to last completion.
+  TimeSec horizon_begin = 0;
+  TimeSec horizon_end = 0;
+
+  /// One record per trace job, in trace (submit) order.
+  std::vector<JobRecord> records;
+
+  // Billing (currency units of the tariff) and energy (joules).
+  Money total_bill = 0.0;
+  Money bill_on_peak = 0.0;
+  Money bill_off_peak = 0.0;
+  Joules total_energy = 0.0;
+  Joules energy_on_peak = 0.0;
+  Joules energy_off_peak = 0.0;
+  /// Raw IT energy (equals total_energy without a facility model).
+  Joules it_energy = 0.0;
+  /// Bill per day index (day 0 = simulation epoch).
+  std::vector<Money> daily_bills;
+
+  /// Average power (watts) per time-of-day bin — Fig. 13. Empty when curve
+  /// recording is disabled.
+  std::vector<double> power_curve;
+  /// Average busy-node *fraction* per time-of-day bin — Fig. 12.
+  std::vector<double> utilization_curve;
+
+  // Simulator internals, for the overhead micro-benches.
+  std::uint64_t scheduling_passes = 0;
+  std::uint64_t ticks_processed = 0;
+  /// Placement attempts rejected by the allocation model (always 0 under
+  /// the paper's fungible pool; counts fragmentation misses under
+  /// contiguous allocation).
+  std::uint64_t placement_failures = 0;
+
+  /// Mean job wait time in seconds (0 for an empty run).
+  double mean_wait_seconds() const {
+    if (records.empty()) return 0.0;
+    double total = 0.0;
+    for (const JobRecord& r : records)
+      total += static_cast<double>(r.wait());
+    return total / static_cast<double>(records.size());
+  }
+};
+
+}  // namespace esched::sim

@@ -1,0 +1,362 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "power/billing.hpp"
+#include "sim/allocator.hpp"
+#include "sim/daily_curve.hpp"
+#include "sim/event_queue.hpp"
+#include "util/error.hpp"
+#include "util/time_util.hpp"
+
+namespace esched::sim {
+
+namespace {
+
+/// Internal engine; simulate() constructs one per run.
+class Engine {
+ public:
+  Engine(const trace::Trace& trace, const power::PricingModel& pricing,
+         core::SchedulingPolicy& policy, const SimConfig& config,
+         power::PowerVisibility* visibility)
+      : trace_(trace),
+        pricing_(pricing),
+        visibility_(visibility),
+        scheduler_(policy, config.scheduler),
+        config_(config),
+        alloc_(make_allocator(config.contiguous_allocation,
+                              trace.system_nodes(),
+                              config.idle_watts_per_node)),
+        meter_(pricing, trace.empty() ? 0 : trace.first_submit(),
+               config.facility_model),
+        power_curve_(config.daily_curve_bins),
+        util_curve_(config.daily_curve_bins) {
+    ESCHED_REQUIRE(config_.tick_interval > 0,
+                   "tick interval must be positive");
+  }
+
+  SimResult run() {
+    trace_.validate();
+    SimResult result;
+    result.policy_name = scheduler_.policy().name();
+    result.trace_name = trace_.name();
+    result.system_nodes = trace_.system_nodes();
+    if (trace_.empty()) return result;
+
+    result.horizon_begin = trace_.first_submit();
+    last_signal_time_ = result.horizon_begin;
+    records_.resize(trace_.size());
+
+    // Workflow dependencies: a dependent job's submit event is deferred
+    // until its predecessor finishes. Only predecessors appearing earlier
+    // in the trace are honored (rules out cycles and dangling ids).
+    std::unordered_map<JobId, std::size_t> index_of;
+    if (config_.honor_dependencies) {
+      index_of.reserve(trace_.size());
+      dependents_.assign(trace_.size(), {});
+    }
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const trace::Job& j = trace_[i];
+      records_[i] = JobRecord{j.id,          j.submit, /*start=*/-1,
+                              /*finish=*/-1, j.nodes,  j.power_per_node,
+                              j.user};
+      bool deferred = false;
+      if (config_.honor_dependencies) {
+        if (j.preceding != 0) {
+          const auto it = index_of.find(j.preceding);
+          if (it != index_of.end()) {
+            dependents_[it->second].push_back(i);
+            deferred = true;
+          }
+        }
+        index_of.emplace(j.id, i);
+      }
+      if (!deferred) events_.push(j.submit, EventType::kJobSubmit, i);
+    }
+
+    while (!events_.empty()) {
+      const Event ev = events_.pop();
+      switch (ev.type) {
+        case EventType::kJobSubmit:
+          handle_submit(ev);
+          break;
+        case EventType::kJobFinish:
+          handle_finish(ev);
+          break;
+        case EventType::kTick:
+          handle_tick(ev, result);
+          break;
+      }
+    }
+
+    // Every job must have completed — the machine can always eventually
+    // run any valid job, so a leftover means a scheduler bug.
+    for (const JobRecord& r : records_) {
+      ESCHED_REQUIRE(r.finish >= 0,
+                     "job " + std::to_string(r.id) + " never completed");
+    }
+
+    record_signals(horizon_end_);
+    meter_.finish(horizon_end_);
+
+    result.horizon_end = horizon_end_;
+    result.records = std::move(records_);
+    result.total_bill = meter_.total_bill();
+    result.bill_on_peak = meter_.bill_in(power::PricePeriod::kOnPeak);
+    result.bill_off_peak = meter_.bill_in(power::PricePeriod::kOffPeak);
+    result.total_energy = meter_.total_energy();
+    result.energy_on_peak = meter_.energy_in(power::PricePeriod::kOnPeak);
+    result.energy_off_peak = meter_.energy_in(power::PricePeriod::kOffPeak);
+    result.it_energy = meter_.it_energy();
+    result.daily_bills = meter_.daily_bills();
+    if (config_.record_daily_curves) {
+      result.power_curve = power_curve_.averages();
+      result.utilization_curve = util_curve_.averages();
+      for (double& u : result.utilization_curve)
+        u /= static_cast<double>(trace_.system_nodes());
+    }
+    result.scheduling_passes = scheduling_passes_;
+    result.ticks_processed = ticks_processed_;
+    result.placement_failures = placement_failures_;
+    return result;
+  }
+
+ private:
+  void handle_submit(const Event& ev) {
+    const trace::Job& j = trace_[ev.payload];
+    const Watts visible = visibility_ != nullptr
+                              ? visibility_->visible_power_per_node(j)
+                              : j.power_per_node;
+    // records_[..].submit is the *effective* release time (it differs
+    // from the trace submit for dependency-deferred jobs).
+    const core::PendingJob pending{j.id,
+                                   records_[ev.payload].submit,
+                                   j.nodes,
+                                   j.walltime,
+                                   visible,
+                                   j.queue};
+    std::size_t pos = queue_.size();
+    if (config_.honor_queue_priority) {
+      // Insert before the first strictly lower-priority job; arrivals
+      // within a class keep FCFS order (later submits insert after
+      // earlier ones of the same class).
+      while (pos > 0 && queue_[pos - 1].queue > pending.queue) --pos;
+    }
+    queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  pending);
+    queue_trace_idx_.insert(
+        queue_trace_idx_.begin() + static_cast<std::ptrdiff_t>(pos),
+        ev.payload);
+    request_tick(ev.time);
+  }
+
+  void handle_finish(const Event& ev) {
+    const std::size_t idx = ev.payload;
+    record_signals(ev.time);
+    alloc_->release(records_[idx].id);
+    remove_running(records_[idx].id);
+    if (visibility_ != nullptr) visibility_->on_job_complete(trace_[idx]);
+    records_[idx].finish = ev.time;
+    horizon_end_ = std::max(horizon_end_, ev.time);
+    meter_.set_power(ev.time, alloc_->current_power());
+    if (config_.honor_dependencies && idx < dependents_.size()) {
+      for (const std::size_t dep : dependents_[idx]) {
+        // Effective release: never before the nominal submit time, and
+        // only after the predecessor plus think time. The record's
+        // submit is updated so wait() measures schedulable wait.
+        const TimeSec release = std::max(
+            records_[dep].submit, ev.time + trace_[dep].think_time);
+        records_[dep].submit = release;
+        events_.push(release, EventType::kJobSubmit, dep);
+      }
+    }
+    if (!queue_.empty()) request_tick(ev.time);
+  }
+
+  void handle_tick(const Event& ev, SimResult&) {
+    // Duplicate materialised ticks are possible (several events may each
+    // request the same boundary); process each boundary once.
+    if (ev.time == last_tick_done_) return;
+    last_tick_done_ = ev.time;
+    ++ticks_processed_;
+
+    // Re-run the scheduler until a pass starts nothing (so a fully
+    // dispatched window refills within the tick), or until the configured
+    // per-tick pass budget runs out (CQSim-style one-shot scheduling).
+    std::size_t passes = 0;
+    bool starts_exhausted = false;
+    while (!queue_.empty() && alloc_->free_nodes() > 0) {
+      if (config_.max_passes_per_tick != 0 &&
+          passes >= config_.max_passes_per_tick) {
+        break;
+      }
+      const core::ScheduleContext ctx{
+          ev.time,           alloc_->free_nodes(),
+          alloc_->total_nodes(), pricing_.period_at(ev.time),
+          alloc_->current_power(), pricing_.next_price_change(ev.time)};
+      ++scheduling_passes_;
+      ++passes;
+      const std::vector<std::size_t> starts =
+          scheduler_.decide(ctx, queue_, running_);
+      if (starts.empty()) {
+        starts_exhausted = true;
+        break;
+      }
+      if (apply_starts(ev.time, starts) == 0) {
+        // Count-feasible but unplaceable (fragmentation under the
+        // contiguous model): nothing changes until a release.
+        starts_exhausted = true;
+        break;
+      }
+    }
+
+    if (!queue_.empty()) {
+      if (!starts_exhausted && alloc_->free_nodes() > 0) {
+        // The pass budget cut scheduling short with work plausibly still
+        // startable: the next tick must fire even without an event.
+        request_tick_at_boundary(ev.time + 1);
+      }
+      // Nothing else changes until an event — except the price period.
+      // Ensure a pass happens at (the first tick after) the next flip.
+      request_tick_at_boundary(pricing_.next_price_change(ev.time));
+    }
+  }
+
+  /// Returns the number of jobs actually placed (placement can fail
+  /// under the contiguous model even though the count-based scheduler
+  /// selected the job; such jobs stay queued).
+  std::size_t apply_starts(TimeSec now,
+                           const std::vector<std::size_t>& starts) {
+    record_signals(now);
+    std::size_t placed = 0;
+    std::vector<bool> started(queue_.size(), false);
+    for (const std::size_t qi : starts) {
+      ESCHED_REQUIRE(qi < queue_.size(), "scheduler start out of range");
+      ESCHED_REQUIRE(!started[qi], "scheduler started a job twice");
+      const std::size_t trace_idx = queue_trace_idx_[qi];
+      const core::PendingJob& pj = queue_[qi];
+      // The allocator and meter always account ground-truth power; the
+      // policy may have seen an estimate (pj.power_per_node).
+      if (!alloc_->try_allocate(pj.id, pj.nodes,
+                                trace_[trace_idx].power_per_node)) {
+        ++placement_failures_;
+        continue;
+      }
+      started[qi] = true;
+      ++placed;
+      add_running(pj.id, pj.nodes, now + pj.walltime);
+      records_[trace_idx].start = now;
+      events_.push(now + trace_[trace_idx].runtime, EventType::kJobFinish,
+                   trace_idx);
+    }
+    meter_.set_power(now, alloc_->current_power());
+
+    // Compact the wait queue, preserving arrival order.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (!started[i]) {
+        queue_[out] = queue_[i];
+        queue_trace_idx_[out] = queue_trace_idx_[i];
+        ++out;
+      }
+    }
+    queue_.resize(out);
+    queue_trace_idx_.resize(out);
+    return placed;
+  }
+
+  // ---- tick materialisation ----
+
+  void request_tick(TimeSec now) {
+    request_tick_at_boundary(now);
+  }
+
+  void request_tick_at_boundary(TimeSec t) {
+    const TimeSec tick = next_tick_at_or_after(t, config_.tick_interval);
+    // Deduplicate the common case of many requests for the same boundary.
+    if (tick == last_tick_requested_) return;
+    last_tick_requested_ = tick;
+    events_.push(tick, EventType::kTick);
+  }
+
+  // ---- running-set bookkeeping (O(1) add/remove) ----
+
+  void add_running(JobId id, NodeCount nodes, TimeSec est_end) {
+    running_pos_[id] = running_.size();
+    running_.push_back({nodes, est_end});
+    running_ids_.push_back(id);
+  }
+
+  void remove_running(JobId id) {
+    const auto it = running_pos_.find(id);
+    ESCHED_REQUIRE(it != running_pos_.end(), "finish of unknown job");
+    const std::size_t pos = it->second;
+    const std::size_t last = running_.size() - 1;
+    if (pos != last) {
+      running_[pos] = running_[last];
+      running_ids_[pos] = running_ids_[last];
+      running_pos_[running_ids_[pos]] = pos;
+    }
+    running_.pop_back();
+    running_ids_.pop_back();
+    running_pos_.erase(it);
+  }
+
+  // ---- signal recording for Fig. 12/13 curves ----
+
+  void record_signals(TimeSec now) {
+    if (!config_.record_daily_curves) {
+      last_signal_time_ = now;
+      return;
+    }
+    if (now > last_signal_time_) {
+      power_curve_.add_segment(last_signal_time_, now,
+                               alloc_->current_power());
+      util_curve_.add_segment(last_signal_time_, now,
+                              static_cast<double>(alloc_->busy_nodes()));
+    }
+    last_signal_time_ = now;
+  }
+
+  const trace::Trace& trace_;
+  const power::PricingModel& pricing_;
+  power::PowerVisibility* visibility_;
+  core::Scheduler scheduler_;
+  SimConfig config_;
+
+  std::unique_ptr<NodeAllocator> alloc_;
+  power::BillingMeter meter_;
+  EventQueue events_;
+
+  std::vector<core::PendingJob> queue_;        // arrival order
+  std::vector<std::size_t> queue_trace_idx_;   // parallel to queue_
+  std::vector<core::RunningJob> running_;
+  std::vector<JobId> running_ids_;             // parallel to running_
+  std::unordered_map<JobId, std::size_t> running_pos_;
+
+  std::vector<JobRecord> records_;
+  std::vector<std::vector<std::size_t>> dependents_;
+  TimeSec horizon_end_ = 0;
+  TimeSec last_tick_done_ = -1;
+  TimeSec last_tick_requested_ = -1;
+  TimeSec last_signal_time_ = 0;
+  std::uint64_t scheduling_passes_ = 0;
+  std::uint64_t ticks_processed_ = 0;
+  std::uint64_t placement_failures_ = 0;
+
+  DailyCurveAccumulator power_curve_;
+  DailyCurveAccumulator util_curve_;
+};
+
+}  // namespace
+
+SimResult simulate(const trace::Trace& trace,
+                   const power::PricingModel& pricing,
+                   core::SchedulingPolicy& policy, const SimConfig& config,
+                   power::PowerVisibility* visibility) {
+  Engine engine(trace, pricing, policy, config, visibility);
+  return engine.run();
+}
+
+}  // namespace esched::sim

@@ -1,0 +1,68 @@
+// The job model: what a batch scheduler knows about one submitted job.
+//
+// Field names follow the paper's nomenclature (Table 1): `nodes` is n_i,
+// `power_per_node` is p_i. Times are simulation seconds (util/types.hpp).
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace esched::trace {
+
+/// One batch job. Value type; a Trace owns a vector of these.
+struct Job {
+  /// Unique id within its trace (SWF job number, 1-based in SWF files).
+  JobId id = 0;
+
+  /// Submission (arrival) time.
+  TimeSec submit = 0;
+
+  /// Actual runtime once started. The simulator ends the job exactly
+  /// `runtime` seconds after dispatch.
+  DurationSec runtime = 0;
+
+  /// User-requested walltime (runtime estimate). Schedulers only ever see
+  /// this, never `runtime`; backfilling reservations are computed from it.
+  /// Users habitually overestimate, so walltime >= runtime is typical but
+  /// not required (overruns in real traces are truncated at walltime by the
+  /// resource manager; our generators keep walltime >= runtime).
+  DurationSec walltime = 0;
+
+  /// Number of nodes requested (n_i). Space-shared: the nodes are dedicated
+  /// from start to finish.
+  NodeCount nodes = 0;
+
+  /// Average power draw per allocated node in watts (p_i). Assigned from
+  /// historical/synthetic profiles (power/profile.hpp); 0 means "unknown".
+  Watts power_per_node = 0.0;
+
+  /// Submitting user (opaque id; used by fairness-oriented extensions).
+  int user = 0;
+
+  /// Batch queue class (SWF field 15). The paper notes systems may run
+  /// "multiple job queues with different priorities" (§3); by esched
+  /// convention lower numbers are higher priority and 0 is the default
+  /// queue. Only honored when SimConfig::honor_queue_priority is set.
+  int queue = 0;
+
+  /// Workflow dependency (SWF field 17): this job may only be submitted
+  /// after job `preceding` completes, plus `think_time` seconds of user
+  /// delay (SWF field 18). 0 means no dependency. Only honored when
+  /// SimConfig::honor_dependencies is set and the predecessor appears
+  /// *earlier* in the trace (which rules out cycles by construction).
+  JobId preceding = 0;
+  DurationSec think_time = 0;
+
+  /// Total power drawn while running.
+  Watts total_power() const {
+    return power_per_node * static_cast<double>(nodes);
+  }
+
+  /// Node-seconds of useful computation delivered by this job.
+  double node_seconds() const {
+    return static_cast<double>(nodes) * static_cast<double>(runtime);
+  }
+};
+
+}  // namespace esched::trace

@@ -1,0 +1,49 @@
+// Standard Workload Format (SWF v2) reader/writer.
+//
+// SWF is the Parallel Workloads Archive format the paper's traces
+// (SDSC-BLUE, ANL-BGP/Intrepid) are published in: one job per line with 18
+// whitespace-separated fields, '-1' for missing values, and ';'-prefixed
+// header comments. We read the fields esched needs (job number, submit,
+// run time, allocated/requested processors, requested time, user) and pass
+// header metadata through. Power profiles are not part of SWF; they are
+// assigned separately (power/profile.hpp) or encoded in a sidecar column
+// via the non-standard header key "; PowerColumn: true", in which case a
+// 19th column holds watts per node.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace esched::trace::swf {
+
+/// Options controlling SWF ingestion.
+struct LoadOptions {
+  /// Jobs with status != 1 (failed/cancelled) are skipped when true; the
+  /// paper's simulator replays completed jobs only.
+  bool completed_only = true;
+  /// Fallback system size when the header lacks "MaxNodes"/"MaxProcs".
+  NodeCount default_system_nodes = 0;
+  /// When a job's requested processors is missing, fall back to allocated.
+  bool allow_allocated_as_requested = true;
+};
+
+/// Parse an SWF stream. Throws esched::Error on malformed lines. Jobs with
+/// missing/zero runtime or size are skipped (the archive marks them -1).
+Trace load(std::istream& in, const std::string& trace_name,
+           const LoadOptions& options = {});
+
+/// Parse an SWF file from disk.
+Trace load_file(const std::string& path, const LoadOptions& options = {});
+
+/// Write a trace as SWF. If `with_power_column` is true, appends the
+/// non-standard 19th watts-per-node column and the "; PowerColumn: true"
+/// header so load() can round-trip power profiles.
+void save(std::ostream& out, const Trace& trace, bool with_power_column);
+
+/// Write a trace to disk as SWF.
+void save_file(const std::string& path, const Trace& trace,
+               bool with_power_column);
+
+}  // namespace esched::trace::swf

@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace esched {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      out.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out.flags_[body] = argv[++i];
+    } else {
+      out.flags_[body] = "";  // bare boolean flag
+    }
+  }
+  return out;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            const std::string& fallback) const {
+  const auto v = get(name);
+  return v ? *v : fallback;
+}
+
+long long CliArgs::get_int_or(const std::string& name,
+                              long long fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  ESCHED_REQUIRE(end && *end == '\0' && !v->empty(),
+                 "flag --" + name + " expects an integer, got '" + *v + "'");
+  return parsed;
+}
+
+double CliArgs::get_double_or(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  ESCHED_REQUIRE(end && *end == '\0' && !v->empty(),
+                 "flag --" + name + " expects a number, got '" + *v + "'");
+  return parsed;
+}
+
+}  // namespace esched

@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing shared by the bench and example
+// binaries. Supports "--name value", "--name=value" and boolean "--name".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace esched {
+
+/// Parsed command line: flags plus positional arguments.
+class CliArgs {
+ public:
+  /// Parse argv (argv[0] is skipped). Throws esched::Error on a flag with a
+  /// missing value only if later queried as valued; bare flags are booleans.
+  static CliArgs parse(int argc, const char* const* argv);
+
+  /// True if --name appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String value of --name, or nullopt.
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// String value of --name or `fallback`.
+  std::string get_or(const std::string& name, const std::string& fallback) const;
+
+  /// Integer value of --name or `fallback`; throws on malformed value.
+  long long get_int_or(const std::string& name, long long fallback) const;
+
+  /// Double value of --name or `fallback`; throws on malformed value.
+  double get_double_or(const std::string& name, double fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace esched

@@ -1,0 +1,37 @@
+// Error handling for the esched library.
+//
+// The library throws esched::Error for precondition violations and malformed
+// input (e.g. an unparsable SWF line). Internal invariants use
+// ESCHED_REQUIRE, which is active in all build types: a scheduling simulator
+// that silently mis-accounts node allocations produces plausible-looking but
+// wrong tables, so we always pay the (tiny) cost of the checks.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace esched {
+
+/// Exception type thrown on precondition violations and malformed input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw Error(std::string("requirement failed: ") + expr + " at " + file +
+              ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace esched
+
+/// Always-on invariant check; throws esched::Error with location info.
+#define ESCHED_REQUIRE(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::esched::detail::require_failed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                      \
+  } while (false)

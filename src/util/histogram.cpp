@@ -1,0 +1,118 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace esched {
+
+namespace {
+std::string bar(double fraction, std::size_t width) {
+  const auto n = static_cast<std::size_t>(
+      std::lround(fraction * static_cast<double>(width)));
+  return std::string(std::min(n, width), '#');
+}
+
+std::string format_number(double v) {
+  std::ostringstream os;
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(3);
+    os << v;
+  }
+  return os.str();
+}
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  ESCHED_REQUIRE(bins >= 1, "Histogram needs at least one bin");
+  ESCHED_REQUIRE(lo < hi, "Histogram needs lo < hi");
+}
+
+void Histogram::add(double value, double weight) {
+  ESCHED_REQUIRE(weight >= 0.0, "Histogram: negative weight");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  ESCHED_REQUIRE(i < counts_.size(), "Histogram bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return bin_lo(i) + width;
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  ESCHED_REQUIRE(i < counts_.size(), "Histogram bin out of range");
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+std::string Histogram::render(const std::string& label,
+                              std::size_t width) const {
+  std::ostringstream os;
+  os << label << " (n=" << format_number(total_) << ")\n";
+  double max_frac = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    max_frac = std::max(max_frac, bin_fraction(i));
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double frac = bin_fraction(i);
+    const double rel = max_frac > 0.0 ? frac / max_frac : 0.0;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "  [%8.1f, %8.1f) %6.2f%% |", bin_lo(i),
+                  bin_hi(i), frac * 100.0);
+    os << buf << bar(rel, width) << "\n";
+  }
+  return os.str();
+}
+
+CategoricalHistogram::CategoricalHistogram(std::vector<std::string> categories)
+    : names_(std::move(categories)), counts_(names_.size(), 0.0) {
+  ESCHED_REQUIRE(!names_.empty(), "CategoricalHistogram needs categories");
+}
+
+void CategoricalHistogram::add(std::size_t index, double weight) {
+  ESCHED_REQUIRE(index < counts_.size(), "category index out of range");
+  ESCHED_REQUIRE(weight >= 0.0, "CategoricalHistogram: negative weight");
+  counts_[index] += weight;
+  total_ += weight;
+}
+
+double CategoricalHistogram::fraction(std::size_t i) const {
+  ESCHED_REQUIRE(i < counts_.size(), "category index out of range");
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+std::string CategoricalHistogram::render(const std::string& label,
+                                         std::size_t width) const {
+  std::ostringstream os;
+  os << label << " (n=" << format_number(total_) << ")\n";
+  std::size_t name_width = 0;
+  for (const auto& n : names_) name_width = std::max(name_width, n.size());
+  double max_frac = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    max_frac = std::max(max_frac, fraction(i));
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double frac = fraction(i);
+    const double rel = max_frac > 0.0 ? frac / max_frac : 0.0;
+    os << "  " << names_[i] << std::string(name_width - names_[i].size(), ' ');
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " %6.2f%% |", frac * 100.0);
+    os << buf << bar(rel, width) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace esched

@@ -1,0 +1,71 @@
+// Fixed-bin and categorical histograms with ASCII rendering, used for the
+// Fig. 1 / Fig. 4 distribution outputs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace esched {
+
+/// Histogram over [lo, hi) with uniformly sized bins. Values outside the
+/// range are clamped into the first/last bin (the paper's figures do the
+/// same: the axis ends absorb the tails).
+class Histogram {
+ public:
+  /// Creates `bins` uniform bins over [lo, hi). Requires bins >= 1, lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Add an observation with optional weight (default 1).
+  void add(double value, double weight = 1.0);
+
+  /// Number of bins.
+  std::size_t bin_count() const { return counts_.size(); }
+  /// Weight accumulated in bin i.
+  double bin_weight(std::size_t i) const { return counts_.at(i); }
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin i.
+  double bin_hi(std::size_t i) const;
+  /// Total accumulated weight.
+  double total() const { return total_; }
+  /// Fraction of total weight in bin i (0 if empty histogram).
+  double bin_fraction(std::size_t i) const;
+
+  /// Render as an ASCII bar chart, one bin per line. `label` precedes the
+  /// chart; `width` is the maximum bar length in characters.
+  std::string render(const std::string& label, std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Histogram over named categories in fixed insertion order (e.g. job-size
+/// classes "1 rack", "2 racks", ...).
+class CategoricalHistogram {
+ public:
+  /// Creates the categories; counts start at zero.
+  explicit CategoricalHistogram(std::vector<std::string> categories);
+
+  /// Add `weight` to category `index`.
+  void add(std::size_t index, double weight = 1.0);
+
+  std::size_t category_count() const { return counts_.size(); }
+  const std::string& category(std::size_t i) const { return names_.at(i); }
+  double weight(std::size_t i) const { return counts_.at(i); }
+  double total() const { return total_; }
+  double fraction(std::size_t i) const;
+
+  /// Render as an ASCII bar chart, one category per line.
+  std::string render(const std::string& label, std::size_t width = 50) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace esched

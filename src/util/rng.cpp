@@ -1,0 +1,133 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace esched {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // Top 53 bits -> [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ESCHED_REQUIRE(lo < hi, "uniform(lo,hi) needs lo < hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ESCHED_REQUIRE(lo <= hi, "uniform_int(lo,hi) needs lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo);
+  if (span == std::uint64_t(-1)) return static_cast<std::int64_t>(next_u64());
+  // Debiased modulo (Lemire-style rejection).
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % bound;
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return lo + static_cast<std::int64_t>(r % bound);
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box–Muller; u1 in (0,1] so log() is finite.
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = radius * std::sin(angle);
+  has_spare_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double sd) {
+  ESCHED_REQUIRE(sd >= 0.0, "normal sd must be >= 0");
+  return mean + sd * normal();
+}
+
+double Rng::truncated_normal(double mean, double sd, double lo, double hi) {
+  ESCHED_REQUIRE(lo < hi, "truncated_normal needs lo < hi");
+  if (sd == 0.0) {
+    ESCHED_REQUIRE(mean >= lo && mean <= hi,
+                   "degenerate truncated_normal outside [lo,hi]");
+    return mean;
+  }
+  // Rejection sampling is exact and cheap for the mild truncations esched
+  // uses (power profiles truncate at ~2 sd). Guard against pathological
+  // parameters where acceptance would be astronomically rare.
+  ESCHED_REQUIRE(mean > lo - 8.0 * sd && mean < hi + 8.0 * sd,
+                 "truncated_normal: interval too far from mean");
+  for (int i = 0; i < 100000; ++i) {
+    const double x = normal(mean, sd);
+    if (x >= lo && x <= hi) return x;
+  }
+  throw Error("truncated_normal: rejection sampling failed to converge");
+}
+
+double Rng::lognormal(double mu_log, double sd_log) {
+  return std::exp(normal(mu_log, sd_log));
+}
+
+double Rng::exponential(double mean) {
+  ESCHED_REQUIRE(mean > 0.0, "exponential mean must be > 0");
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+bool Rng::bernoulli(double p) {
+  ESCHED_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p outside [0,1]");
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    ESCHED_REQUIRE(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  ESCHED_REQUIRE(total > 0.0, "weighted_index: all weights zero");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: land on last bucket
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace esched

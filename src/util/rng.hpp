@@ -1,0 +1,86 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in esched (synthetic traces, power-profile
+// assignment) flows through this header so that a given seed reproduces a
+// bit-identical experiment on any platform. We therefore implement the
+// distributions ourselves instead of using <random>'s, whose outputs are
+// implementation-defined and differ between standard libraries.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded via splitmix64 —
+// the conventional pairing: splitmix64 decorrelates low-entropy seeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace esched {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic pseudo-random generator (xoshiro256**) plus the handful of
+/// distributions esched needs. Copyable value type; copying forks the stream.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (caches the spare deviate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation (sd >= 0).
+  double normal(double mean, double sd);
+
+  /// Normal truncated to [lo, hi] by rejection. Requires lo < hi and a
+  /// non-degenerate overlap (mean within ~8 sd of the interval).
+  double truncated_normal(double mean, double sd, double lo, double hi);
+
+  /// Lognormal: exp(N(mu_log, sd_log)).
+  double lognormal(double mu_log, double sd_log);
+
+  /// Exponential with the given mean (> 0); used for Poisson arrival gaps.
+  double exponential(double mean);
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Index drawn from the (unnormalised, non-negative) weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator; stable given call order.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace esched

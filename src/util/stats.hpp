@@ -1,0 +1,55 @@
+// Small statistics helpers used by trace analysis and metric computation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace esched {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Number of observations added.
+  std::size_t count() const { return n_; }
+  /// Arithmetic mean; 0 when empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Smallest observation; 0 when empty.
+  double min() const { return n_ ? min_ : 0.0; }
+  /// Largest observation; 0 when empty.
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel-friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Weighted mean of `values` with non-negative `weights` (same length).
+/// Returns 0 when the total weight is zero.
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights);
+
+/// q-quantile (q in [0,1]) by linear interpolation on a *copy* of the data.
+/// Returns 0 for empty input.
+double quantile(std::span<const double> values, double q);
+
+/// Relative difference (a - b) / b as a percentage; 0 when b == 0.
+double percent_change(double a, double b);
+
+}  // namespace esched

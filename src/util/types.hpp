@@ -1,0 +1,44 @@
+// Fundamental scalar types shared across the esched library.
+//
+// Simulation time is integral seconds since the simulation epoch (t = 0 is
+// midnight of day 0). Integral time keeps event ordering exact and makes
+// daily/price-period boundary arithmetic trivial, matching the 1-second
+// resolution of the Standard Workload Format traces the paper uses.
+#pragma once
+
+#include <cstdint>
+
+namespace esched {
+
+/// Seconds since the simulation epoch (midnight of day 0).
+using TimeSec = std::int64_t;
+
+/// A duration in seconds.
+using DurationSec = std::int64_t;
+
+/// A count of compute nodes.
+using NodeCount = std::int64_t;
+
+/// Electrical power in watts.
+using Watts = double;
+
+/// Energy in joules (watt-seconds).
+using Joules = double;
+
+/// Money in abstract currency units. The paper only ever compares relative
+/// bills, so the unit is irrelevant; we document it as dollars.
+using Money = double;
+
+/// Job identifier, unique within a trace (SWF job number).
+using JobId = std::int64_t;
+
+inline constexpr DurationSec kSecondsPerHour = 3600;
+inline constexpr DurationSec kSecondsPerDay = 24 * kSecondsPerHour;
+/// The simulator's calendar uses fixed 30-day months (see DESIGN.md §5).
+inline constexpr DurationSec kDaysPerMonth = 30;
+inline constexpr DurationSec kSecondsPerMonth = kDaysPerMonth * kSecondsPerDay;
+
+/// Convert joules to kilowatt-hours (the unit electricity bills use).
+constexpr double joules_to_kwh(Joules j) { return j / 3.6e6; }
+
+}  // namespace esched

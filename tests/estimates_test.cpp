@@ -1,0 +1,94 @@
+// Tests for the walltime-estimate transforms.
+#include "trace/estimates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace esched::trace {
+namespace {
+
+Trace make_trace() {
+  Trace t("est", 64);
+  for (int i = 0; i < 50; ++i) {
+    Job j;
+    j.id = i + 1;
+    j.submit = i * 10;
+    j.nodes = 4;
+    j.runtime = 600 + i * 137;  // 10 min .. ~2.3 h
+    j.walltime = j.runtime * 3;
+    j.user = i % 5;
+    t.add_job(j);
+  }
+  return t;
+}
+
+TEST(EstimatesTest, ExactSetsWalltimeToRuntime) {
+  const Trace t = with_exact_estimates(make_trace());
+  for (const Job& j : t.jobs()) EXPECT_EQ(j.walltime, j.runtime);
+  EXPECT_DOUBLE_EQ(estimate_accuracy(t), 1.0);
+}
+
+TEST(EstimatesTest, FactorScalesAndValidates) {
+  const Trace t = with_estimate_factor(make_trace(), 2.0);
+  for (const Job& j : t.jobs()) {
+    EXPECT_EQ(j.walltime, 2 * j.runtime);
+  }
+  EXPECT_NEAR(estimate_accuracy(t), 0.5, 1e-12);
+  EXPECT_THROW(with_estimate_factor(make_trace(), 0.9), Error);
+}
+
+TEST(EstimatesTest, FactorRoundsUp) {
+  Trace t("odd", 8);
+  Job j;
+  j.id = 1;
+  j.submit = 0;
+  j.nodes = 1;
+  j.runtime = 101;
+  j.walltime = 101;
+  t.add_job(j);
+  const Trace out = with_estimate_factor(t, 1.5);
+  EXPECT_EQ(out[0].walltime, 152);  // ceil(151.5)
+}
+
+TEST(EstimatesTest, MenuPicksSmallestCoveringEntry) {
+  const Trace t = with_menu_estimates(make_trace(), /*sloppy=*/0.0, 1);
+  for (const Job& j : t.jobs()) {
+    EXPECT_GE(j.walltime, j.runtime);
+    // Menu entries are >= 30 minutes; a 10-minute job requests 30 min.
+    if (j.runtime <= 1800) {
+      EXPECT_EQ(j.walltime, 1800);
+    }
+    // Never more than the next menu step above the runtime (2x spacing).
+    EXPECT_LE(j.walltime, std::max<DurationSec>(1800, 2 * j.runtime + 1));
+  }
+}
+
+TEST(EstimatesTest, SloppyUsersRequestTheMaximum) {
+  const Trace all_sloppy = with_menu_estimates(make_trace(), 1.0, 1);
+  DurationSec expected = 0;
+  for (const Job& j : all_sloppy.jobs())
+    expected = std::max(expected, j.walltime);
+  for (const Job& j : all_sloppy.jobs()) EXPECT_EQ(j.walltime, expected);
+
+  // Fractional sloppiness is deterministic in the seed.
+  const Trace a = with_menu_estimates(make_trace(), 0.3, 9);
+  const Trace b = with_menu_estimates(make_trace(), 0.3, 9);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].walltime, b[i].walltime);
+  EXPECT_THROW(with_menu_estimates(make_trace(), 1.5, 1), Error);
+}
+
+TEST(EstimatesTest, AccuracyOrdering) {
+  const Trace base = make_trace();
+  const double exact = estimate_accuracy(with_exact_estimates(base));
+  const double x2 = estimate_accuracy(with_estimate_factor(base, 2.0));
+  const double menu = estimate_accuracy(with_menu_estimates(base, 0.0, 1));
+  const double sloppy = estimate_accuracy(with_menu_estimates(base, 1.0, 1));
+  EXPECT_GT(exact, x2);
+  EXPECT_GT(menu, sloppy);
+  EXPECT_DOUBLE_EQ(estimate_accuracy(Trace("empty", 4)), 1.0);
+}
+
+}  // namespace
+}  // namespace esched::trace

@@ -1,0 +1,66 @@
+// Tests for the event queue's deterministic ordering.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace esched::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  q.push(300, EventType::kTick);
+  q.push(100, EventType::kTick);
+  q.push(200, EventType::kTick);
+  EXPECT_EQ(q.pop().time, 100);
+  EXPECT_EQ(q.pop().time, 200);
+  EXPECT_EQ(q.pop().time, 300);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, SameTimeOrdersFinishSubmitTick) {
+  EventQueue q;
+  q.push(100, EventType::kTick);
+  q.push(100, EventType::kJobSubmit, 2);
+  q.push(100, EventType::kJobFinish, 1);
+  EXPECT_EQ(q.pop().type, EventType::kJobFinish);
+  EXPECT_EQ(q.pop().type, EventType::kJobSubmit);
+  EXPECT_EQ(q.pop().type, EventType::kTick);
+}
+
+TEST(EventQueueTest, SameTimeSameTypeIsFifo) {
+  EventQueue q;
+  q.push(100, EventType::kJobSubmit, 11);
+  q.push(100, EventType::kJobSubmit, 22);
+  q.push(100, EventType::kJobSubmit, 33);
+  EXPECT_EQ(q.pop().payload, 11u);
+  EXPECT_EQ(q.pop().payload, 22u);
+  EXPECT_EQ(q.pop().payload, 33u);
+}
+
+TEST(EventQueueTest, PayloadRoundTrips) {
+  EventQueue q;
+  q.push(5, EventType::kJobFinish, 12345);
+  const Event e = q.pop();
+  EXPECT_EQ(e.time, 5);
+  EXPECT_EQ(e.payload, 12345u);
+}
+
+TEST(EventQueueTest, TopDoesNotRemove) {
+  EventQueue q;
+  q.push(5, EventType::kTick);
+  EXPECT_EQ(q.top().time, 5);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, EmptyAccessThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.top(), Error);
+  EXPECT_THROW(q.pop(), Error);
+}
+
+}  // namespace
+}  // namespace esched::sim

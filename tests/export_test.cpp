@@ -1,0 +1,116 @@
+// Tests for the CSV/JSON result exporters.
+#include "metrics/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/fcfs_policy.hpp"
+#include "power/pricing.hpp"
+#include "power/profile.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/transforms.hpp"
+#include "util/error.hpp"
+
+namespace esched::metrics {
+namespace {
+
+sim::SimResult small_result() {
+  trace::Trace t = trace::make_anl_bgp_like(1, 3);
+  t = trace::take_first(t, 50);
+  power::assign_profiles(t, power::ProfileConfig{}, 3);
+  power::OnOffPeakPricing pricing(0.03, 3.0);
+  core::FcfsPolicy policy;
+  return sim::simulate(t, pricing, policy);
+}
+
+TEST(ExportTest, JobsCsvHasHeaderAndAllRows) {
+  const sim::SimResult r = small_result();
+  std::ostringstream os;
+  write_jobs_csv(os, r);
+  const std::string out = os.str();
+  EXPECT_EQ(out.substr(0, out.find('\n')),
+            "id,user,submit,start,finish,wait,nodes,power_per_node");
+  std::size_t lines = 0;
+  for (const char ch : out) lines += (ch == '\n');
+  EXPECT_EQ(lines, r.records.size() + 1);
+}
+
+TEST(ExportTest, DailyBillsCsvSumsToTotal) {
+  const sim::SimResult r = small_result();
+  std::ostringstream os;
+  write_daily_bills_csv(os, r);
+  std::istringstream in(os.str());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "day,bill");
+  double total = 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto comma = line.find(',');
+    total += std::stod(line.substr(comma + 1));
+  }
+  EXPECT_NEAR(total, r.total_bill, 1e-9);
+}
+
+TEST(ExportTest, CurvesCsvMatchesBinCount) {
+  const sim::SimResult r = small_result();
+  std::ostringstream os;
+  write_daily_curves_csv(os, r);
+  std::size_t lines = 0;
+  for (const char ch : os.str()) lines += (ch == '\n');
+  EXPECT_EQ(lines, r.power_curve.size() + 1);
+
+  sim::SimResult no_curves = r;
+  no_curves.power_curve.clear();
+  no_curves.utilization_curve.clear();
+  std::ostringstream os2;
+  EXPECT_THROW(write_daily_curves_csv(os2, no_curves), Error);
+}
+
+TEST(ExportTest, SummaryJsonHasStableKeys) {
+  const sim::SimResult r = small_result();
+  std::ostringstream os;
+  write_summary_json(os, r);
+  const std::string json = os.str();
+  for (const char* key :
+       {"\"policy\"", "\"trace\"", "\"total_bill\"", "\"utilization\"",
+        "\"mean_wait_seconds\"", "\"energy_on_peak_joules\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');
+}
+
+TEST(ExportTest, JsonEscapesSpecialCharacters) {
+  sim::SimResult r;
+  r.policy_name = "has \"quotes\" and \\slashes\\";
+  r.trace_name = "line\nbreak";
+  std::ostringstream os;
+  write_summary_json(os, r);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("has \\\"quotes\\\" and \\\\slashes\\\\"),
+            std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+}
+
+TEST(ExportTest, ExportAllWritesFiles) {
+  const sim::SimResult r = small_result();
+  const std::string prefix = "/tmp/esched_export_test";
+  export_all(prefix, r);
+  for (const char* suffix :
+       {"_jobs.csv", "_daily.csv", "_curves.csv", "_summary.json"}) {
+    std::ifstream in(prefix + suffix);
+    EXPECT_TRUE(in.good()) << suffix;
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_FALSE(first_line.empty()) << suffix;
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace esched::metrics

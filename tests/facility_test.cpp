@@ -1,0 +1,108 @@
+// Tests for the facility (PUE) power models and their billing integration.
+#include "power/facility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "power/billing.hpp"
+#include "power/profile.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/time_util.hpp"
+
+namespace esched::power {
+namespace {
+
+TEST(ConstantPueTest, ScalesPower) {
+  ConstantPue pue(1.5);
+  EXPECT_DOUBLE_EQ(pue.facility_watts(1000.0, 0), 1500.0);
+  EXPECT_DOUBLE_EQ(pue.facility_watts(0.0, 12345), 0.0);
+  EXPECT_EQ(pue.name(), "pue(1.50)");
+  EXPECT_THROW(ConstantPue(0.9), Error);
+}
+
+TEST(PeriodPueTest, TracksTariffPeriod) {
+  OnOffPeakPricing tariff(0.03, 3.0);
+  PeriodPue pue(tariff, 1.2, 1.6);
+  const TimeSec morning = 6 * kSecondsPerHour;
+  const TimeSec afternoon = 15 * kSecondsPerHour;
+  EXPECT_DOUBLE_EQ(pue.facility_watts(1000.0, morning), 1200.0);
+  EXPECT_DOUBLE_EQ(pue.facility_watts(1000.0, afternoon), 1600.0);
+  EXPECT_THROW(PeriodPue(tariff, 0.5, 1.5), Error);
+}
+
+TEST(BillingWithFacilityTest, ConstantPueMultipliesTheBill) {
+  FlatPricing pricing(0.10);
+  ConstantPue pue(1.5);
+  BillingMeter plain(pricing, 0);
+  BillingMeter facility(pricing, 0, &pue);
+  plain.set_power(0, 1000.0);
+  facility.set_power(0, 1000.0);
+  plain.finish(kSecondsPerHour);
+  facility.finish(kSecondsPerHour);
+  EXPECT_NEAR(facility.total_bill(), 1.5 * plain.total_bill(), 1e-12);
+  EXPECT_NEAR(facility.total_energy(), 1.5 * plain.total_energy(), 1e-6);
+  EXPECT_NEAR(facility.it_energy(), plain.total_energy(), 1e-6);
+}
+
+TEST(BillingWithFacilityTest, PeriodPueSplitsExactly) {
+  OnOffPeakPricing pricing(0.03, 3.0);
+  PeriodPue pue(pricing, 1.2, 1.6);
+  BillingMeter meter(pricing, 0, &pue);
+  meter.set_power(0, 1000.0);  // 1 kW IT for a full day
+  meter.finish(kSecondsPerDay);
+  // Off-peak 12 h: 1.2 kW at 0.03; on-peak 12 h: 1.6 kW at 0.09.
+  EXPECT_NEAR(meter.bill_in(PricePeriod::kOffPeak), 12 * 1.2 * 0.03, 1e-9);
+  EXPECT_NEAR(meter.bill_in(PricePeriod::kOnPeak), 12 * 1.6 * 0.09, 1e-9);
+  EXPECT_NEAR(meter.it_energy(), 24.0 * 3.6e6, 1e-3);
+  EXPECT_NEAR(meter.total_energy(), (12 * 1.2 + 12 * 1.6) * 3.6e6, 1e-3);
+}
+
+TEST(FacilitySimulationTest, PeriodPueAmplifiesSavings) {
+  trace::Trace t = trace::make_anl_bgp_like(1, 61);
+  assign_profiles(t, ProfileConfig{}, 61);
+  OnOffPeakPricing pricing(0.03, 3.0);
+
+  auto saving_with = [&](const FacilityModel* facility) {
+    sim::SimConfig cfg;
+    cfg.facility_model = facility;
+    core::FcfsPolicy fcfs;
+    core::GreedyPowerPolicy greedy;
+    const auto rf = sim::simulate(t, pricing, fcfs, cfg);
+    const auto rg = sim::simulate(t, pricing, greedy, cfg);
+    return metrics::bill_saving_percent(rf, rg);
+  };
+
+  const double base = saving_with(nullptr);
+  ConstantPue flat(1.4);
+  const double with_flat = saving_with(&flat);
+  PeriodPue diurnal(pricing, 1.15, 1.6);
+  const double with_diurnal = saving_with(&diurnal);
+
+  // A flat PUE multiplies both bills equally: relative saving unchanged.
+  EXPECT_NEAR(with_flat, base, 1e-9);
+  // A period-tracking PUE makes on-peak watts dearer still: the
+  // power-aware policy saves strictly more.
+  EXPECT_GT(with_diurnal, base);
+}
+
+TEST(FacilitySimulationTest, ItEnergyIsPolicyAndPueInvariant) {
+  trace::Trace t = trace::make_anl_bgp_like(1, 62);
+  assign_profiles(t, ProfileConfig{}, 62);
+  OnOffPeakPricing pricing(0.03, 3.0);
+  ConstantPue pue(1.3);
+  sim::SimConfig with_pue;
+  with_pue.facility_model = &pue;
+  core::FcfsPolicy fcfs;
+  const auto plain = sim::simulate(t, pricing, fcfs);
+  core::FcfsPolicy fcfs2;
+  const auto facility = sim::simulate(t, pricing, fcfs2, with_pue);
+  EXPECT_NEAR(facility.it_energy, plain.it_energy, 1e-3);
+  EXPECT_NEAR(facility.total_energy, 1.3 * plain.total_energy, 1.0);
+}
+
+}  // namespace
+}  // namespace esched::power

@@ -1,0 +1,86 @@
+// Tests for the fairness/responsiveness metrics.
+#include "metrics/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace esched::metrics {
+namespace {
+
+sim::JobRecord rec(JobId id, TimeSec submit, TimeSec start, TimeSec finish,
+                   int user = 0) {
+  return sim::JobRecord{id, submit, start, finish, 4, 30.0, user};
+}
+
+TEST(BoundedSlowdownTest, KnownValues) {
+  // wait 100, run 100 -> (100+100)/100 = 2.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(rec(1, 0, 100, 200)), 2.0);
+  // No wait -> 1.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(rec(1, 0, 0, 100)), 1.0);
+  // Tiny job: run 1 s, wait 9 s, tau 10 -> (9+1)/10 = 1 (clamped at 1),
+  // not the unbounded 10.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(rec(1, 0, 9, 10)), 1.0);
+  // Tiny job with long wait: (100+1)/10 = 10.1.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(rec(1, 0, 100, 101)), 10.1);
+  EXPECT_THROW(bounded_slowdown(rec(1, 0, 0, 100), 0), Error);
+}
+
+TEST(JainIndexTest, KnownValues) {
+  const std::vector<double> equal{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_index(equal), 1.0);
+  const std::vector<double> one_hot{1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(one_hot), 0.25);
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(jain_index(empty), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(jain_index(negative), Error);
+}
+
+TEST(FairnessReportTest, AggregatesAcrossJobsAndUsers) {
+  sim::SimResult r;
+  r.system_nodes = 64;
+  r.horizon_begin = 0;
+  r.horizon_end = 1000;
+  // User 0: waits 0 and 100. User 1: wait 300.
+  r.records = {
+      rec(1, 0, 0, 100, 0),      // slowdown 1
+      rec(2, 0, 100, 200, 0),    // slowdown 2
+      rec(3, 0, 300, 400, 1),    // slowdown 4
+  };
+  const FairnessReport report = fairness_report(r);
+  EXPECT_DOUBLE_EQ(report.mean_bounded_slowdown, (1.0 + 2.0 + 4.0) / 3.0);
+  EXPECT_DOUBLE_EQ(report.max_bounded_slowdown, 4.0);
+  EXPECT_EQ(report.max_wait, 300);
+  EXPECT_EQ(report.users, 2u);
+  // User means: 50 and 300 -> Jain = (350)^2 / (2*(2500+90000)).
+  EXPECT_NEAR(report.jain_index_user_wait,
+              350.0 * 350.0 / (2.0 * (2500.0 + 90000.0)), 1e-12);
+}
+
+TEST(FairnessReportTest, EmptyResult) {
+  sim::SimResult r;
+  const FairnessReport report = fairness_report(r);
+  EXPECT_DOUBLE_EQ(report.mean_bounded_slowdown, 0.0);
+  EXPECT_EQ(report.users, 0u);
+  EXPECT_DOUBLE_EQ(report.jain_index_user_wait, 1.0);
+}
+
+TEST(FairnessReportTest, P95TracksTail) {
+  sim::SimResult r;
+  r.system_nodes = 4;
+  r.horizon_end = 100000;
+  for (int i = 0; i < 99; ++i) {
+    r.records.push_back(rec(i, 0, 0, 100));  // slowdown 1
+  }
+  r.records.push_back(rec(99, 0, 900, 1000));  // slowdown 10
+  const FairnessReport report = fairness_report(r);
+  EXPECT_GT(report.p95_bounded_slowdown, 0.99);
+  EXPECT_LT(report.p95_bounded_slowdown, 10.0);
+  EXPECT_DOUBLE_EQ(report.max_bounded_slowdown, 10.0);
+}
+
+}  // namespace
+}  // namespace esched::metrics

@@ -1,0 +1,101 @@
+// Tests for the MisforecastTariff wrapper.
+#include "power/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_policy.hpp"
+#include "core/fcfs_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "power/profile.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/time_util.hpp"
+
+namespace esched::power {
+namespace {
+
+TEST(MisforecastTest, ZeroErrorIsTransparent) {
+  OnOffPeakPricing truth(0.03, 3.0);
+  MisforecastTariff wrapped(truth, 0.0, 1);
+  for (TimeSec t = 0; t < 2 * kSecondsPerDay; t += 1733) {
+    EXPECT_EQ(wrapped.period_at(t), truth.period_at(t));
+    EXPECT_DOUBLE_EQ(wrapped.price_at(t), truth.price_at(t));
+    EXPECT_FALSE(wrapped.flipped_at(t));
+  }
+}
+
+TEST(MisforecastTest, FullErrorAlwaysFlips) {
+  OnOffPeakPricing truth(0.03, 3.0);
+  MisforecastTariff wrapped(truth, 1.0, 1);
+  for (TimeSec t = 0; t < kSecondsPerDay; t += 977) {
+    EXPECT_NE(wrapped.period_at(t), truth.period_at(t));
+    // Prices remain truthful regardless.
+    EXPECT_DOUBLE_EQ(wrapped.price_at(t), truth.price_at(t));
+  }
+}
+
+TEST(MisforecastTest, FlipRateMatchesErrorRate) {
+  OnOffPeakPricing truth(0.03, 3.0);
+  MisforecastTariff wrapped(truth, 0.25, 42);
+  int flips = 0;
+  const int buckets = 5000;
+  for (int b = 0; b < buckets; ++b) {
+    flips += wrapped.flipped_at(static_cast<TimeSec>(b) * 3600);
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / buckets, 0.25, 0.03);
+}
+
+TEST(MisforecastTest, DeterministicInSeedAndStableWithinBucket) {
+  OnOffPeakPricing truth(0.03, 3.0);
+  MisforecastTariff a(truth, 0.5, 7);
+  MisforecastTariff b(truth, 0.5, 7);
+  for (TimeSec t = 0; t < kSecondsPerDay; t += 600) {
+    EXPECT_EQ(a.period_at(t), b.period_at(t));
+    // Stable inside one forecast bucket.
+    EXPECT_EQ(a.flipped_at(t), a.flipped_at(t + 59));
+  }
+}
+
+TEST(MisforecastTest, BoundariesIncludeBucketEdges) {
+  OnOffPeakPricing truth(0.03, 3.0);
+  MisforecastTariff wrapped(truth, 0.5, 7, /*bucket=*/3600);
+  EXPECT_EQ(wrapped.next_price_change(0), 3600);
+  EXPECT_EQ(wrapped.next_price_change(3599), 3600);
+  // Never later than the truth's boundary.
+  for (TimeSec t = 0; t < kSecondsPerDay; t += 1000) {
+    EXPECT_LE(wrapped.next_price_change(t), truth.next_price_change(t));
+    EXPECT_GT(wrapped.next_price_change(t), t);
+  }
+}
+
+TEST(MisforecastTest, RejectsBadParameters) {
+  OnOffPeakPricing truth(0.03, 3.0);
+  EXPECT_THROW(MisforecastTariff(truth, -0.1, 1), Error);
+  EXPECT_THROW(MisforecastTariff(truth, 1.1, 1), Error);
+  EXPECT_THROW(MisforecastTariff(truth, 0.5, 1, 0), Error);
+}
+
+TEST(MisforecastTest, SavingsDegradeWithForecastError) {
+  trace::Trace t = trace::make_anl_bgp_like(2, 55);
+  assign_profiles(t, ProfileConfig{}, 55);
+  OnOffPeakPricing truth(0.03, 3.0);
+
+  auto saving_at = [&](double error) {
+    MisforecastTariff tariff(truth, error, 9);
+    core::FcfsPolicy fcfs;
+    core::GreedyPowerPolicy greedy;
+    const auto rf = sim::simulate(t, tariff, fcfs);
+    const auto rg = sim::simulate(t, tariff, greedy);
+    return metrics::bill_saving_percent(rf, rg);
+  };
+
+  const double perfect = saving_at(0.0);
+  const double half = saving_at(0.5);
+  EXPECT_GT(perfect, 1.0);
+  // A coin-flip forecast destroys most of the signal.
+  EXPECT_LT(half, perfect * 0.6);
+}
+
+}  // namespace
+}  // namespace esched::power

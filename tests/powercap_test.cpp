@@ -1,0 +1,102 @@
+// Tests for the power-capping baseline policy and the scheduler's budget
+// enforcement.
+#include "core/powercap_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace esched::core {
+namespace {
+
+using power::PricePeriod;
+
+PendingJob job(JobId id, NodeCount nodes, Watts power) {
+  return PendingJob{id, 0, nodes, 3600, power};
+}
+
+TEST(PowerCapPolicyTest, BudgetOnlyAppliesOnPeak) {
+  PowerCapPolicy policy(1000.0);
+  ScheduleContext on{0, 8, 8, PricePeriod::kOnPeak};
+  ScheduleContext off{0, 8, 8, PricePeriod::kOffPeak};
+  EXPECT_DOUBLE_EQ(policy.power_budget(on), 1000.0);
+  EXPECT_EQ(policy.power_budget(off), SchedulingPolicy::kNoPowerBudget);
+  EXPECT_EQ(policy.on_peak_budget(), 1000.0);
+  EXPECT_EQ(policy.name(), "PowerCap(1kW)");
+}
+
+TEST(PowerCapPolicyTest, RejectsNonPositiveBudget) {
+  EXPECT_THROW(PowerCapPolicy(0.0), Error);
+  EXPECT_THROW(PowerCapPolicy(-5.0), Error);
+}
+
+TEST(PowerCapPolicyTest, DispatchStopsAtBudgetDespiteIdleNodes) {
+  // Budget 500 W. Jobs: 4 nodes x 50 W = 200 W each. Two fit (400 W);
+  // the third would hit 600 W and must wait even though 4 nodes idle.
+  PowerCapPolicy policy(500.0);
+  Scheduler scheduler(policy, SchedulerConfig{});
+  const std::vector<PendingJob> queue{
+      job(1, 4, 50.0), job(2, 4, 50.0), job(3, 4, 50.0)};
+  const ScheduleContext ctx{0, 12, 12, PricePeriod::kOnPeak};
+  const auto starts = scheduler.decide(ctx, queue, {});
+  EXPECT_EQ(starts, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(PowerCapPolicyTest, RunningPowerCountsAgainstBudget) {
+  PowerCapPolicy policy(500.0);
+  Scheduler scheduler(policy, SchedulerConfig{});
+  const std::vector<PendingJob> queue{job(1, 4, 50.0)};  // +200 W
+  ScheduleContext ctx{0, 8, 12, PricePeriod::kOnPeak};
+  ctx.current_power = 400.0;  // 400 + 200 > 500
+  EXPECT_TRUE(scheduler.decide(ctx, queue, {}).empty());
+  ctx.current_power = 300.0;  // 300 + 200 <= 500
+  EXPECT_EQ(scheduler.decide(ctx, queue, {}).size(), 1u);
+}
+
+TEST(PowerCapPolicyTest, OffPeakIsUncapped) {
+  PowerCapPolicy policy(100.0);  // tiny budget
+  Scheduler scheduler(policy, SchedulerConfig{});
+  const std::vector<PendingJob> queue{job(1, 4, 50.0), job(2, 4, 60.0)};
+  ScheduleContext ctx{0, 12, 12, PricePeriod::kOffPeak};
+  ctx.current_power = 10000.0;
+  EXPECT_EQ(scheduler.decide(ctx, queue, {}).size(), 2u);
+}
+
+TEST(PowerCapPolicyTest, PrefersFrugalJobsUnderTheCap) {
+  // Greedy ordering ensures the budget is spent on the coolest jobs.
+  PowerCapPolicy policy(450.0);
+  Scheduler scheduler(policy, SchedulerConfig{});
+  const std::vector<PendingJob> queue{
+      job(1, 4, 100.0),  // 400 W
+      job(2, 4, 50.0),   // 200 W
+      job(3, 4, 60.0),   // 240 W
+  };
+  const ScheduleContext ctx{0, 12, 12, PricePeriod::kOnPeak};
+  // Ascending power: J2 (200 W) then J3 (240 W -> total 440) then J1 (no).
+  const auto starts = scheduler.decide(ctx, queue, {});
+  EXPECT_EQ(starts, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(PowerCapPolicyTest, BudgetAppliesToBeyondWindowBackfill) {
+  PowerCapPolicy policy(100.0);
+  SchedulerConfig cfg;
+  cfg.window_size = 1;
+  cfg.backfill_beyond_window = true;
+  Scheduler scheduler(policy, cfg);
+  // Window blocker: 8 nodes. Beyond window: two 4-node backfill
+  // candidates that both fit nodes and reservation, but only the cooler
+  // one fits the 100 W budget.
+  const std::vector<RunningJob> running{{4, 1000}};
+  const std::vector<PendingJob> queue{
+      {1, 0, 8, 500, 10.0},
+      {2, 1, 4, 900, 50.0},  // 200 W: over budget, skipped
+      {3, 2, 4, 900, 10.0},  // 40 W: fits
+  };
+  const ScheduleContext ctx{0, 4, 8, PricePeriod::kOnPeak};
+  const auto starts = scheduler.decide(ctx, queue, running);
+  EXPECT_EQ(starts, (std::vector<std::size_t>{2}));
+}
+
+}  // namespace
+}  // namespace esched::core

@@ -1,0 +1,139 @@
+// Tests for power-profile assignment (§5.4 of the paper).
+#include "power/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace esched::power {
+namespace {
+
+trace::Trace make_trace(std::size_t jobs, int users = 10) {
+  trace::Trace t("test", 1024);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    trace::Job j;
+    j.id = static_cast<JobId>(i + 1);
+    j.submit = static_cast<TimeSec>(i * 10);
+    j.nodes = 16;
+    j.runtime = 600;
+    j.walltime = 900;
+    j.user = static_cast<int>(i) % users;
+    t.add_job(j);
+  }
+  return t;
+}
+
+TEST(ProfileTest, DefaultPaperRange) {
+  trace::Trace t = make_trace(5000);
+  assign_profiles(t, ProfileConfig{}, 42);
+  RunningStats stats;
+  for (const trace::Job& j : t.jobs()) {
+    ASSERT_GE(j.power_per_node, 20.0);
+    ASSERT_LE(j.power_per_node, 60.0);
+    stats.add(j.power_per_node);
+  }
+  // Normal centred on the midpoint with sd = range/6.
+  EXPECT_NEAR(stats.mean(), 40.0, 0.5);
+  EXPECT_NEAR(stats.stddev(), 40.0 / 6.0, 0.5);
+}
+
+TEST(ProfileTest, RatioControlsRange) {
+  for (const double ratio : {2.0, 3.0, 4.0}) {
+    trace::Trace t = make_trace(2000);
+    ProfileConfig cfg;
+    cfg.min_watts_per_node = 20.0;
+    cfg.ratio = ratio;
+    assign_profiles(t, cfg, 7);
+    double lo = 1e300;
+    double hi = -1e300;
+    for (const trace::Job& j : t.jobs()) {
+      lo = std::min(lo, j.power_per_node);
+      hi = std::max(hi, j.power_per_node);
+    }
+    EXPECT_GE(lo, 20.0);
+    EXPECT_LE(hi, 20.0 * ratio);
+    // The draws should actually use the range: extremes within the outer
+    // quarter of [min, max].
+    const double range = 20.0 * ratio - 20.0;
+    EXPECT_LT(lo, 20.0 + 0.25 * range);
+    EXPECT_GT(hi, 20.0 * ratio - 0.25 * range);
+  }
+}
+
+TEST(ProfileTest, DeterministicInSeed) {
+  trace::Trace a = make_trace(100);
+  trace::Trace b = make_trace(100);
+  assign_profiles(a, ProfileConfig{}, 99);
+  assign_profiles(b, ProfileConfig{}, 99);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].power_per_node, b[i].power_per_node);
+  trace::Trace c = make_trace(100);
+  assign_profiles(c, ProfileConfig{}, 100);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_diff |= a[i].power_per_node != c[i].power_per_node;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ProfileTest, DegenerateRatioOneIsConstant) {
+  trace::Trace t = make_trace(50);
+  ProfileConfig cfg;
+  cfg.ratio = 1.0;
+  assign_profiles(t, cfg, 1);
+  for (const trace::Job& j : t.jobs())
+    EXPECT_DOUBLE_EQ(j.power_per_node, cfg.min_watts_per_node);
+}
+
+TEST(ProfileTest, UserCorrelationClustersUsers) {
+  trace::Trace t = make_trace(5000, /*users=*/5);
+  ProfileConfig cfg;
+  cfg.per_user_correlation = 0.9;
+  assign_profiles(t, cfg, 3);
+  // Variance within a user should be much smaller than overall variance.
+  RunningStats overall;
+  std::vector<RunningStats> per_user(5);
+  for (const trace::Job& j : t.jobs()) {
+    overall.add(j.power_per_node);
+    per_user[static_cast<std::size_t>(j.user)].add(j.power_per_node);
+  }
+  double mean_within = 0.0;
+  for (const auto& s : per_user) mean_within += s.variance();
+  mean_within /= 5.0;
+  EXPECT_LT(mean_within, overall.variance() * 0.6);
+}
+
+TEST(ProfileTest, RejectsBadConfig) {
+  trace::Trace t = make_trace(10);
+  ProfileConfig cfg;
+  cfg.min_watts_per_node = 0.0;
+  EXPECT_THROW(assign_profiles(t, cfg, 1), Error);
+  cfg = ProfileConfig{};
+  cfg.ratio = 0.9;
+  EXPECT_THROW(assign_profiles(t, cfg, 1), Error);
+  cfg = ProfileConfig{};
+  cfg.per_user_correlation = 1.5;
+  EXPECT_THROW(assign_profiles(t, cfg, 1), Error);
+}
+
+TEST(ProfileTest, RescalePreservesQuantiles) {
+  trace::Trace t = make_trace(1000);
+  assign_profiles(t, ProfileConfig{}, 5);
+  // Remember the ordering of the first few jobs by power.
+  const double p0 = t[0].power_per_node;
+  const double p1 = t[1].power_per_node;
+  rescale_profiles(t, 10.0, 4.0);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const trace::Job& j : t.jobs()) {
+    lo = std::min(lo, j.power_per_node);
+    hi = std::max(hi, j.power_per_node);
+  }
+  EXPECT_NEAR(lo, 10.0, 1e-9);
+  EXPECT_NEAR(hi, 40.0, 1e-9);
+  // Order preserved.
+  EXPECT_EQ(p0 < p1, t[0].power_per_node < t[1].power_per_node);
+}
+
+}  // namespace
+}  // namespace esched::power

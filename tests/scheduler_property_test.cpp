@@ -1,0 +1,154 @@
+// Randomized property tests for the Scheduler's dispatch guarantees,
+// across all policies, window sizes and price periods:
+//   * starts always fit collectively in the free nodes;
+//   * window policies are maximal — after the pass no window job fits the
+//     leftover (the paper's utilization rule);
+//   * off-peak, Knapsack's started aggregate power is at least Greedy's
+//     (it solves optimally what greedy first-fit approximates);
+//   * on-peak, Knapsack packs at least as many nodes as Greedy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace esched::core {
+namespace {
+
+using power::PricePeriod;
+
+std::vector<PendingJob> random_queue(Rng& rng, NodeCount system) {
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 40));
+  std::vector<PendingJob> queue;
+  queue.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PendingJob j;
+    j.id = static_cast<JobId>(i + 1);
+    j.submit = static_cast<TimeSec>(i);
+    j.nodes = rng.uniform_int(1, system);
+    j.walltime = rng.uniform_int(60, 7200);
+    j.power_per_node = rng.uniform(20.0, 60.0);
+    queue.push_back(j);
+  }
+  return queue;
+}
+
+std::vector<RunningJob> random_running(Rng& rng, NodeCount busy) {
+  std::vector<RunningJob> running;
+  NodeCount left = busy;
+  while (left > 0) {
+    const NodeCount nodes = rng.uniform_int(1, left);
+    running.push_back({nodes, rng.uniform_int(100, 5000)});
+    left -= nodes;
+  }
+  return running;
+}
+
+class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerProperty, StartsFitAndWindowPoliciesAreMaximal) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 120; ++round) {
+    const NodeCount system = rng.uniform_int(8, 64);
+    const NodeCount free = rng.uniform_int(0, system);
+    const auto queue = random_queue(rng, system);
+    const auto running = random_running(rng, system - free);
+    const auto period = rng.bernoulli(0.5) ? PricePeriod::kOnPeak
+                                           : PricePeriod::kOffPeak;
+    const ScheduleContext ctx{1000, free, system, period};
+
+    for (int which = 0; which < 3; ++which) {
+      FcfsPolicy fcfs;
+      GreedyPowerPolicy greedy;
+      KnapsackPolicy knapsack;
+      SchedulingPolicy& policy =
+          which == 0 ? static_cast<SchedulingPolicy&>(fcfs)
+          : which == 1 ? static_cast<SchedulingPolicy&>(greedy)
+                       : static_cast<SchedulingPolicy&>(knapsack);
+      SchedulerConfig cfg;
+      cfg.window_size = static_cast<std::size_t>(rng.uniform_int(1, 30));
+      cfg.backfill_beyond_window = rng.bernoulli(0.5);
+      Scheduler scheduler(policy, cfg);
+      const auto starts = scheduler.decide(ctx, queue, running);
+
+      // Collective fit + no duplicates.
+      NodeCount used = 0;
+      std::vector<bool> seen(queue.size(), false);
+      for (const std::size_t qi : starts) {
+        ASSERT_LT(qi, queue.size());
+        ASSERT_FALSE(seen[qi]);
+        seen[qi] = true;
+        used += queue[qi].nodes;
+      }
+      ASSERT_LE(used, free);
+
+      // Maximality within the window for window policies: no unstarted
+      // window job fits the leftover nodes.
+      if (!policy.strict_order()) {
+        const std::size_t w = std::min(cfg.window_size, queue.size());
+        const NodeCount leftover = free - used;
+        for (std::size_t i = 0; i < w; ++i) {
+          if (!seen[i]) {
+            ASSERT_GT(queue[i].nodes, leftover);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SchedulerProperty, KnapsackDominatesGreedyOnItsObjective) {
+  Rng rng(GetParam() + 5000);
+  for (int round = 0; round < 120; ++round) {
+    const NodeCount system = rng.uniform_int(8, 64);
+    const NodeCount free = rng.uniform_int(1, system);
+    auto queue = random_queue(rng, system);
+    // Keep everything inside one window so the comparison is pure.
+    if (queue.size() > 20) queue.resize(20);
+    SchedulerConfig cfg;
+    cfg.window_size = 20;
+    cfg.backfill_beyond_window = false;
+
+    for (const auto period :
+         {PricePeriod::kOnPeak, PricePeriod::kOffPeak}) {
+      const ScheduleContext ctx{1000, free, system, period};
+      GreedyPowerPolicy greedy_policy;
+      KnapsackPolicy knapsack_policy;
+      Scheduler greedy(greedy_policy, cfg);
+      Scheduler knapsack(knapsack_policy, cfg);
+      const auto gs = greedy.decide(ctx, queue, {});
+      const auto ks = knapsack.decide(ctx, queue, {});
+
+      NodeCount g_nodes = 0;
+      NodeCount k_nodes = 0;
+      double g_power = 0.0;
+      double k_power = 0.0;
+      for (const auto qi : gs) {
+        g_nodes += queue[qi].nodes;
+        g_power += queue[qi].total_power();
+      }
+      for (const auto qi : ks) {
+        k_nodes += queue[qi].nodes;
+        k_power += queue[qi].total_power();
+      }
+      if (period == PricePeriod::kOffPeak) {
+        // Knapsack maximises aggregate power over all feasible subsets;
+        // greedy first-fit produces one such subset.
+        EXPECT_GE(k_power, g_power - 1e-9);
+      } else {
+        // On-peak knapsack packs maximally.
+        EXPECT_GE(k_nodes, g_nodes);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+}  // namespace
+}  // namespace esched::core

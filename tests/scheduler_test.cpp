@@ -1,0 +1,223 @@
+// Tests for the Scheduler's dispatch semantics: EASY for strict-order
+// policies, window first-fit for power-aware ones, beyond-window
+// backfilling, and the starvation guard.
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "util/error.hpp"
+
+namespace esched::core {
+namespace {
+
+using power::PricePeriod;
+
+PendingJob job(JobId id, NodeCount nodes, DurationSec walltime,
+               Watts power = 30.0, TimeSec submit = 0) {
+  return PendingJob{id, submit, nodes, walltime, power};
+}
+
+ScheduleContext ctx(NodeCount free, NodeCount total,
+                    PricePeriod period = PricePeriod::kOffPeak,
+                    TimeSec now = 0) {
+  return ScheduleContext{now, free, total, period};
+}
+
+TEST(SchedulerEasyTest, InOrderUntilBlockedThenBackfills) {
+  FcfsPolicy policy;
+  Scheduler scheduler(policy, SchedulerConfig{});
+  // 10 free. J1 takes 6. J2 needs 8 -> blocked (reservation at t=1000
+  // when the 6-node J1 ends by estimate). J3 (4 nodes, short) fits and
+  // ends by 1000 -> backfilled. J4 (4 nodes, long) would delay -> no.
+  const std::vector<PendingJob> queue{
+      job(1, 6, 1000),
+      job(2, 8, 500),
+      job(3, 4, 900),
+      job(4, 4, 5000),
+  };
+  const auto starts = scheduler.decide(ctx(10, 10), queue, {});
+  EXPECT_EQ(starts, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(SchedulerEasyTest, ExtraNodesBackfillConsumesBudget) {
+  FcfsPolicy policy;
+  Scheduler scheduler(policy, SchedulerConfig{});
+  // 10 free. J1 blocked (needs 12, machine 16 with 6 running until 2000).
+  // Reservation: shadow=2000, extra = (10+6)-12 = 4.
+  // J2 (3 nodes, long) uses extra -> allowed, extra drops to 1.
+  // J3 (3 nodes, long) no longer fits in extra -> rejected.
+  // J4 (1 node, long) fits the remaining extra -> allowed.
+  const std::vector<RunningJob> running{{6, 2000}};
+  const std::vector<PendingJob> queue{
+      job(1, 12, 1000),
+      job(2, 3, 100000),
+      job(3, 3, 100000),
+      job(4, 1, 100000),
+  };
+  const auto starts = scheduler.decide(ctx(10, 16), queue, running);
+  EXPECT_EQ(starts, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(SchedulerEasyTest, StartedJobsExtendTheReservationBase) {
+  FcfsPolicy policy;
+  Scheduler scheduler(policy, SchedulerConfig{});
+  // J1 starts now (walltime 100). J2 needs everything; shadow must account
+  // for J1's own estimated end, not just pre-existing running jobs.
+  const std::vector<PendingJob> queue{
+      job(1, 4, 100),
+      job(2, 8, 500),
+      job(3, 4, 50),  // 0+50 <= shadow(100) -> backfills
+  };
+  const auto starts = scheduler.decide(ctx(8, 8), queue, {});
+  EXPECT_EQ(starts, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(SchedulerWindowTest, FirstFitOverPolicyOrder) {
+  GreedyPowerPolicy policy;
+  SchedulerConfig cfg;
+  cfg.window_size = 10;
+  Scheduler scheduler(policy, cfg);
+  // Off-peak descending power: 50, 40, 20. The 40 W job doesn't fit after
+  // the 50 W one; first-fit skips to the 20 W job.
+  const std::vector<PendingJob> queue{
+      job(1, 6, 100, 50.0),
+      job(2, 6, 100, 40.0),
+      job(3, 2, 100, 20.0),
+  };
+  const auto starts = scheduler.decide(
+      ctx(8, 8, PricePeriod::kOffPeak), queue, {});
+  EXPECT_EQ(starts, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(SchedulerWindowTest, WindowLimitsTheScope) {
+  GreedyPowerPolicy policy;
+  SchedulerConfig cfg;
+  cfg.window_size = 2;
+  Scheduler scheduler(policy, cfg);
+  // The 10 W job sits outside the 2-job window and must not be chosen even
+  // though on-peak ordering would love it.
+  const std::vector<PendingJob> queue{
+      job(1, 4, 100, 50.0),
+      job(2, 4, 100, 40.0),
+      job(3, 4, 100, 10.0),
+  };
+  const auto starts =
+      scheduler.decide(ctx(4, 12, PricePeriod::kOnPeak), queue, {});
+  EXPECT_EQ(starts, (std::vector<std::size_t>{1}));  // cheapest in-window
+}
+
+TEST(SchedulerWindowTest, BeyondWindowBackfillRespectsReservation) {
+  GreedyPowerPolicy policy;
+  SchedulerConfig cfg;
+  cfg.window_size = 1;
+  cfg.backfill_beyond_window = true;
+  Scheduler scheduler(policy, cfg);
+  // Window = {J1} which is blocked (needs 8, free 4, 4 running until 1000).
+  // Beyond window: J2 short (ends by shadow) backfills; J3 long doesn't.
+  const std::vector<RunningJob> running{{4, 1000}};
+  const std::vector<PendingJob> queue{
+      job(1, 8, 500),
+      job(2, 4, 1000, 30.0),
+      job(3, 4, 5000, 30.0),
+  };
+  const auto starts = scheduler.decide(ctx(4, 8), queue, running);
+  EXPECT_EQ(starts, (std::vector<std::size_t>{1}));
+}
+
+TEST(SchedulerWindowTest, BeyondWindowBackfillCanBeDisabled) {
+  GreedyPowerPolicy policy;
+  SchedulerConfig cfg;
+  cfg.window_size = 1;
+  cfg.backfill_beyond_window = false;
+  Scheduler scheduler(policy, cfg);
+  const std::vector<RunningJob> running{{4, 1000}};
+  const std::vector<PendingJob> queue{
+      job(1, 8, 500),
+      job(2, 4, 100, 30.0),
+  };
+  const auto starts = scheduler.decide(ctx(4, 8), queue, running);
+  EXPECT_TRUE(starts.empty());
+}
+
+TEST(SchedulerWindowTest, StarvationGuardPromotesOldJobs) {
+  GreedyPowerPolicy policy;
+  SchedulerConfig cfg;
+  cfg.window_size = 10;
+  cfg.starvation_age = 1000;
+  Scheduler scheduler(policy, cfg);
+  // On-peak would start the coolest job first, but J1 has waited 2000 s
+  // (>= guard) and is promoted; it consumes all free nodes.
+  const std::vector<PendingJob> queue{
+      job(1, 4, 100, 50.0, /*submit=*/0),
+      job(2, 4, 100, 10.0, /*submit=*/4900),
+  };
+  const auto starts = scheduler.decide(
+      ctx(4, 8, PricePeriod::kOnPeak, /*now=*/5000), queue, {});
+  EXPECT_EQ(starts, (std::vector<std::size_t>{0}));
+}
+
+TEST(SchedulerWindowTest, StarvationGuardKeepsArrivalOrderAmongStarved) {
+  GreedyPowerPolicy policy;
+  SchedulerConfig cfg;
+  cfg.window_size = 10;
+  cfg.starvation_age = 10;
+  Scheduler scheduler(policy, cfg);
+  // Both starved; arrival order (not power order) must apply.
+  const std::vector<PendingJob> queue{
+      job(1, 4, 100, 50.0, 0),
+      job(2, 4, 100, 10.0, 1),
+  };
+  const auto starts = scheduler.decide(
+      ctx(4, 8, PricePeriod::kOnPeak, 5000), queue, {});
+  EXPECT_EQ(starts, (std::vector<std::size_t>{0}));
+}
+
+TEST(SchedulerTest, EmptyQueueOrNoFreeNodes) {
+  GreedyPowerPolicy policy;
+  Scheduler scheduler(policy, SchedulerConfig{});
+  EXPECT_TRUE(scheduler.decide(ctx(8, 8), {}, {}).empty());
+  const std::vector<PendingJob> queue{job(1, 4, 100)};
+  EXPECT_TRUE(scheduler.decide(ctx(0, 8), queue, {}).empty());
+}
+
+TEST(SchedulerTest, ReturnedStartsAlwaysFitCollectively) {
+  KnapsackPolicy policy;
+  SchedulerConfig cfg;
+  cfg.window_size = 5;
+  Scheduler scheduler(policy, cfg);
+  const std::vector<PendingJob> queue{
+      job(1, 5, 100, 50.0), job(2, 3, 100, 20.0), job(3, 4, 100, 45.0),
+      job(4, 2, 100, 35.0), job(5, 6, 100, 15.0), job(6, 1, 100, 25.0),
+  };
+  for (const auto period : {PricePeriod::kOnPeak, PricePeriod::kOffPeak}) {
+    for (NodeCount free = 0; free <= 12; ++free) {
+      const auto starts =
+          scheduler.decide(ctx(free, 12, period), queue, {});
+      NodeCount used = 0;
+      for (const auto qi : starts) used += queue[qi].nodes;
+      EXPECT_LE(used, free);
+    }
+  }
+}
+
+TEST(SchedulerTest, ConfigValidation) {
+  GreedyPowerPolicy policy;
+  SchedulerConfig cfg;
+  cfg.window_size = 0;
+  EXPECT_THROW(Scheduler(policy, cfg), Error);
+}
+
+TEST(SchedulerTest, RejectsInconsistentContext) {
+  GreedyPowerPolicy policy;
+  Scheduler scheduler(policy, SchedulerConfig{});
+  const std::vector<PendingJob> queue{job(1, 4, 100)};
+  EXPECT_THROW(scheduler.decide(ctx(16, 8), queue, {}), Error);
+}
+
+}  // namespace
+}  // namespace esched::core

@@ -1,0 +1,66 @@
+// Tests for the command-line flag parser.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace esched {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, SpaceSeparatedValues) {
+  const CliArgs args = parse({"--months", "5", "--name", "anl"});
+  EXPECT_EQ(args.get_int_or("months", 0), 5);
+  EXPECT_EQ(args.get_or("name", ""), "anl");
+}
+
+TEST(CliTest, EqualsSeparatedValues) {
+  const CliArgs args = parse({"--ratio=3.5", "--swf=/tmp/x.swf"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("ratio", 0.0), 3.5);
+  EXPECT_EQ(args.get_or("swf", ""), "/tmp/x.swf");
+}
+
+TEST(CliTest, BareBooleanFlags) {
+  const CliArgs args = parse({"--csv", "--verbose", "--k", "v"});
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("quiet"));
+  EXPECT_EQ(args.get_or("k", ""), "v");
+}
+
+TEST(CliTest, FlagFollowedByFlagIsBoolean) {
+  const CliArgs args = parse({"--csv", "--months", "3"});
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_EQ(args.get("csv").value(), "");
+  EXPECT_EQ(args.get_int_or("months", 0), 3);
+}
+
+TEST(CliTest, PositionalArguments) {
+  const CliArgs args = parse({"input.swf", "--csv", "out.csv"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.swf");
+  EXPECT_EQ(args.get_or("csv", ""), "out.csv");
+}
+
+TEST(CliTest, DefaultsApplyWhenMissing) {
+  const CliArgs args = parse({});
+  EXPECT_EQ(args.get_int_or("months", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double_or("ratio", 2.5), 2.5);
+  EXPECT_EQ(args.get_or("name", "dflt"), "dflt");
+  EXPECT_FALSE(args.get("name").has_value());
+}
+
+TEST(CliTest, MalformedNumbersThrow) {
+  const CliArgs args = parse({"--months", "five", "--ratio", "3.5x"});
+  EXPECT_THROW(args.get_int_or("months", 0), Error);
+  EXPECT_THROW(args.get_double_or("ratio", 0.0), Error);
+}
+
+}  // namespace
+}  // namespace esched

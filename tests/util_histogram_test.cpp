@@ -1,0 +1,95 @@
+// Tests for Histogram and CategoricalHistogram.
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace esched {
+namespace {
+
+TEST(HistogramTest, BinEdgesAreUniform) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(HistogramTest, ValuesLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(10.0);  // hi is exclusive -> clamps into last bin
+  h.add(1e9);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(4), 2.0);
+}
+
+TEST(HistogramTest, WeightsAndFractions) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0, 3.0);
+  h.add(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(1), 0.25);
+  EXPECT_THROW(h.add(1.0, -1.0), Error);
+}
+
+TEST(HistogramTest, RenderMentionsLabelAndBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render("power", 10);
+  EXPECT_NE(out.find("power"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("66.67%"), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 3), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(CategoricalHistogramTest, CountsAndFractions) {
+  CategoricalHistogram h({"small", "medium", "large"});
+  h.add(0);
+  h.add(0);
+  h.add(2, 2.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.5);
+  EXPECT_EQ(h.category(1), "medium");
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(CategoricalHistogramTest, RejectsBadIndexAndEmpty) {
+  CategoricalHistogram h({"a"});
+  EXPECT_THROW(h.add(1), Error);
+  EXPECT_THROW(h.fraction(1), Error);
+  EXPECT_THROW(CategoricalHistogram({}), Error);
+}
+
+TEST(CategoricalHistogramTest, RenderAlignsNames) {
+  CategoricalHistogram h({"x", "longname"});
+  h.add(0);
+  h.add(1);
+  const std::string out = h.render("sizes");
+  EXPECT_NE(out.find("sizes"), std::string::npos);
+  EXPECT_NE(out.find("longname"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esched

@@ -1,0 +1,222 @@
+// Tests for the deterministic RNG and its distributions.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace esched {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, CopyForksIdenticalStream) {
+  Rng a(7);
+  a.next_u64();
+  Rng b = a;  // value semantics
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  // Fork consumed one output, so parents stay in sync too.
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanAndSpread) {
+  Rng rng(4);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 8.25);
+    ASSERT_GE(u, -3.5);
+    ASSERT_LT(u, 8.25);
+  }
+}
+
+TEST(RngTest, UniformRejectsEmptyRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(1.0, 1.0), Error);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+}
+
+TEST(RngTest, UniformIntCoversAllValuesInclusively) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all of -2..3 hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(6);
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  Rng rng(8);
+  // 3 buckets over a non-power-of-two span; modulo bias would skew this.
+  std::vector<int> counts(3, 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 2))];
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 3.0, 0.005);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, TruncatedNormalHonoursBounds) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.truncated_normal(40.0, 6.67, 20.0, 60.0);
+    ASSERT_GE(x, 20.0);
+    ASSERT_LE(x, 60.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 40.0, 0.2);  // symmetric truncation
+}
+
+TEST(RngTest, TruncatedNormalDegenerateSd) {
+  Rng rng(10);
+  EXPECT_DOUBLE_EQ(rng.truncated_normal(5.0, 0.0, 0.0, 10.0), 5.0);
+  EXPECT_THROW(rng.truncated_normal(50.0, 0.0, 0.0, 10.0), Error);
+}
+
+TEST(RngTest, TruncatedNormalRejectsFarInterval) {
+  Rng rng(10);
+  EXPECT_THROW(rng.truncated_normal(0.0, 1.0, 100.0, 101.0), Error);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.exponential(7.0));
+  EXPECT_NEAR(stats.mean(), 7.0, 0.1);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(12);
+  std::vector<double> xs;
+  for (int i = 0; i < 100001; ++i) xs.push_back(rng.lognormal(std::log(600.0), 1.0));
+  std::nth_element(xs.begin(), xs.begin() + 50000, xs.end());
+  EXPECT_NEAR(xs[50000], 600.0, 20.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_THROW(rng.bernoulli(1.5), Error);
+}
+
+TEST(RngTest, WeightedIndexProportions) {
+  Rng rng(14);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, WeightedIndexRejectsDegenerateInput) {
+  Rng rng(15);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zeros), Error);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(rng.weighted_index(negative), Error);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(16);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::is_sorted(shuffled.begin(), shuffled.end()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// Property sweep: distribution draws stay within bounds for many seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, TruncatedNormalAlwaysInBounds) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.truncated_normal(30.0, 10.0, 20.0, 60.0);
+    ASSERT_GE(x, 20.0);
+    ASSERT_LE(x, 60.0);
+  }
+}
+
+TEST_P(RngSeedSweep, UniformIntBoundsHold) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(100, 107);
+    ASSERT_GE(v, 100);
+    ASSERT_LE(v, 107);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 42u, 1000u,
+                                           0xdeadbeefULL,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace esched

@@ -1,0 +1,95 @@
+// Tests for the ASCII/CSV table renderer.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace esched {
+namespace {
+
+TEST(TableTest, RendersHeadersAndCells) {
+  Table t({"Month", "FCFS", "Greedy"});
+  t.add_row();
+  t.cell("1");
+  t.cell_percent(70.0);
+  t.cell_percent(69.5);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Month"), std::string::npos);
+  EXPECT_NE(out.find("70.00%"), std::string::npos);
+  EXPECT_NE(out.find("69.50%"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(TableTest, NumericFormatting) {
+  Table t({"a", "b", "c"});
+  t.add_row();
+  t.cell(3.14159, 3);
+  t.cell_int(-42);
+  t.cell_percent(1.5, 1);
+  EXPECT_EQ(t.at(0, 0), "3.142");
+  EXPECT_EQ(t.at(0, 1), "-42");
+  EXPECT_EQ(t.at(0, 2), "1.5%");
+}
+
+TEST(TableTest, TooManyCellsThrows) {
+  Table t({"only"});
+  t.add_row();
+  t.cell("x");
+  EXPECT_THROW(t.cell("y"), Error);
+}
+
+TEST(TableTest, CellBeforeRowThrows) {
+  Table t({"only"});
+  EXPECT_THROW(t.cell("x"), Error);
+}
+
+TEST(TableTest, AtValidatesRange) {
+  Table t({"a"});
+  EXPECT_THROW(t.at(0, 0), Error);
+  t.add_row();
+  t.cell("v");
+  EXPECT_EQ(t.at(0, 0), "v");
+  EXPECT_THROW(t.at(0, 1), Error);
+  EXPECT_THROW(t.at(1, 0), Error);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.add_row();
+  t.cell("a,b");
+  t.cell("say \"hi\"");
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 9), "name,note");
+}
+
+TEST(TableTest, RaggedRowsRenderBlank) {
+  Table t({"a", "b"});
+  t.add_row();
+  t.cell("only-a");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only-a"), std::string::npos);
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("only-a,"), std::string::npos);
+}
+
+TEST(TableTest, AlignmentOverride) {
+  Table t({"left", "right"});
+  t.set_align(1, Align::kLeft);
+  t.add_row();
+  t.cell("x");
+  t.cell("1");
+  // Column 1 is now left aligned: "1" then padding before the pipe.
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1     |"), std::string::npos);
+  EXPECT_THROW(t.set_align(2, Align::kLeft), Error);
+}
+
+TEST(TableTest, EmptyHeaderListThrows) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+}  // namespace
+}  // namespace esched

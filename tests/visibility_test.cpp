@@ -1,0 +1,213 @@
+// Tests for the scheduler power-visibility seam: truth/blind/noisy views
+// and the online ProfileEstimator.
+#include "power/visibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "power/profile.hpp"
+#include "power/profile_estimator.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace esched::power {
+namespace {
+
+trace::Job make_job(JobId id, int user, NodeCount nodes, Watts power) {
+  trace::Job j;
+  j.id = id;
+  j.submit = 0;
+  j.nodes = nodes;
+  j.runtime = 600;
+  j.walltime = 900;
+  j.power_per_node = power;
+  j.user = user;
+  return j;
+}
+
+TEST(VisibilityTest, TruthPassesThrough) {
+  TruthVisibility v;
+  EXPECT_DOUBLE_EQ(v.visible_power_per_node(make_job(1, 0, 4, 33.5)), 33.5);
+  EXPECT_EQ(v.name(), "truth");
+}
+
+TEST(VisibilityTest, BlindIsConstant) {
+  BlindVisibility v(42.0);
+  EXPECT_DOUBLE_EQ(v.visible_power_per_node(make_job(1, 0, 4, 20.0)), 42.0);
+  EXPECT_DOUBLE_EQ(v.visible_power_per_node(make_job(2, 0, 8, 60.0)), 42.0);
+}
+
+TEST(NoisyVisibilityTest, DeterministicPerJob) {
+  NoisyVisibility v(0.2, 7);
+  const trace::Job j = make_job(5, 0, 4, 40.0);
+  const Watts first = v.visible_power_per_node(j);
+  EXPECT_DOUBLE_EQ(v.visible_power_per_node(j), first);
+  NoisyVisibility v2(0.2, 7);
+  EXPECT_DOUBLE_EQ(v2.visible_power_per_node(j), first);
+  NoisyVisibility other_seed(0.2, 8);
+  EXPECT_NE(other_seed.visible_power_per_node(j), first);
+}
+
+TEST(NoisyVisibilityTest, ZeroSigmaIsTruth) {
+  NoisyVisibility v(0.0, 7);
+  EXPECT_DOUBLE_EQ(v.visible_power_per_node(make_job(1, 0, 4, 40.0)), 40.0);
+  EXPECT_THROW(NoisyVisibility(-0.1, 7), Error);
+}
+
+TEST(NoisyVisibilityTest, ErrorScalesWithSigma) {
+  NoisyVisibility small(0.05, 3);
+  NoisyVisibility big(0.5, 3);
+  RunningStats err_small;
+  RunningStats err_big;
+  for (JobId id = 1; id <= 2000; ++id) {
+    const trace::Job j = make_job(id, 0, 4, 40.0);
+    err_small.add(std::abs(
+        std::log(small.visible_power_per_node(j) / 40.0)));
+    err_big.add(std::abs(std::log(big.visible_power_per_node(j) / 40.0)));
+  }
+  EXPECT_LT(err_small.mean(), 0.08);
+  EXPECT_GT(err_big.mean(), 0.25);
+}
+
+TEST(ProfileEstimatorTest, SizeClassBuckets) {
+  EXPECT_EQ(ProfileEstimator::size_class(1), 0);
+  EXPECT_EQ(ProfileEstimator::size_class(2), 1);
+  EXPECT_EQ(ProfileEstimator::size_class(3), 2);
+  EXPECT_EQ(ProfileEstimator::size_class(4), 2);
+  EXPECT_EQ(ProfileEstimator::size_class(5), 3);
+  EXPECT_EQ(ProfileEstimator::size_class(1024), 10);
+  EXPECT_THROW(ProfileEstimator::size_class(0), Error);
+}
+
+TEST(ProfileEstimatorTest, StartsAtDefaultThenLearns) {
+  ProfileEstimator::Config cfg;
+  cfg.default_watts = 40.0;
+  cfg.min_samples = 2;
+  ProfileEstimator est(cfg);
+
+  const trace::Job j = make_job(1, 7, 16, 55.0);
+  EXPECT_DOUBLE_EQ(est.visible_power_per_node(j), 40.0);  // no history
+
+  est.on_job_complete(make_job(2, 7, 16, 50.0));
+  EXPECT_DOUBLE_EQ(est.visible_power_per_node(j), 40.0);  // 1 < min_samples
+  est.on_job_complete(make_job(3, 7, 16, 60.0));
+  EXPECT_DOUBLE_EQ(est.visible_power_per_node(j), 55.0);  // (50+60)/2
+  EXPECT_EQ(est.observations(), 2u);
+}
+
+TEST(ProfileEstimatorTest, FallbackHierarchy) {
+  ProfileEstimator::Config cfg;
+  cfg.default_watts = 40.0;
+  cfg.min_samples = 1;
+  ProfileEstimator est(cfg);
+
+  // History only for user 7 at size class of 16 nodes.
+  est.on_job_complete(make_job(1, 7, 16, 50.0));
+
+  // Same user, different size class -> per-user fallback (same 50).
+  EXPECT_DOUBLE_EQ(est.visible_power_per_node(make_job(2, 7, 256, 0.0)),
+                   50.0);
+  // Different user -> global fallback (still 50, it is the only sample).
+  EXPECT_DOUBLE_EQ(est.visible_power_per_node(make_job(3, 8, 16, 0.0)),
+                   50.0);
+
+  // Add a second user's data; global mean shifts, user 7 stays specific.
+  est.on_job_complete(make_job(4, 8, 16, 30.0));
+  EXPECT_DOUBLE_EQ(est.visible_power_per_node(make_job(5, 9, 4, 0.0)),
+                   40.0);  // global (50+30)/2
+  EXPECT_DOUBLE_EQ(est.visible_power_per_node(make_job(6, 7, 16, 0.0)),
+                   50.0);
+}
+
+TEST(ProfileEstimatorTest, HitRatesTrackPredictionSources) {
+  ProfileEstimator::Config cfg;
+  cfg.min_samples = 1;
+  ProfileEstimator est(cfg);
+  // First prediction: default.
+  est.visible_power_per_node(make_job(1, 1, 4, 0.0));
+  EXPECT_DOUBLE_EQ(est.default_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(est.specific_hit_rate(), 0.0);
+  est.on_job_complete(make_job(1, 1, 4, 50.0));
+  // Second: specific bucket.
+  est.visible_power_per_node(make_job(2, 1, 4, 0.0));
+  EXPECT_DOUBLE_EQ(est.specific_hit_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(est.default_rate(), 0.5);
+}
+
+TEST(ProfileEstimatorTest, RejectsBadConfig) {
+  ProfileEstimator::Config cfg;
+  cfg.default_watts = 0.0;
+  EXPECT_THROW(ProfileEstimator{cfg}, Error);
+  cfg = {};
+  cfg.min_samples = 0;
+  EXPECT_THROW(ProfileEstimator{cfg}, Error);
+}
+
+TEST(VisibilityIntegrationTest, BlindSchedulerLosesTheSavings) {
+  trace::Trace t = trace::make_anl_bgp_like(1, 31);
+  assign_profiles(t, ProfileConfig{}, 31);
+  OnOffPeakPricing pricing(0.03, 3.0);
+
+  core::FcfsPolicy fcfs;
+  const sim::SimResult rf = sim::simulate(t, pricing, fcfs);
+
+  core::GreedyPowerPolicy greedy;
+  const sim::SimResult truth = sim::simulate(t, pricing, greedy);
+  BlindVisibility blind(40.0);
+  const sim::SimResult blinded =
+      sim::simulate(t, pricing, greedy, {}, &blind);
+
+  const double saving_truth = metrics::bill_saving_percent(rf, truth);
+  const double saving_blind = metrics::bill_saving_percent(rf, blinded);
+  // With a constant visible profile the power sort is a no-op: the blind
+  // run must lose most of the informed run's savings.
+  EXPECT_GT(saving_truth, 1.0);
+  EXPECT_LT(std::abs(saving_blind), saving_truth * 0.5);
+}
+
+TEST(VisibilityIntegrationTest, EstimatorRecoversMostOfTheSavings) {
+  // Repetitive jobs (high per-user power correlation) are exactly what
+  // the paper's §3 argues makes profiles learnable.
+  trace::Trace t = trace::make_anl_bgp_like(2, 32);
+  ProfileConfig pcfg;
+  pcfg.per_user_correlation = 0.9;
+  assign_profiles(t, pcfg, 32);
+  OnOffPeakPricing pricing(0.03, 3.0);
+
+  core::FcfsPolicy fcfs;
+  const sim::SimResult rf = sim::simulate(t, pricing, fcfs);
+  core::GreedyPowerPolicy greedy;
+  const sim::SimResult truth = sim::simulate(t, pricing, greedy);
+  ProfileEstimator est;
+  const sim::SimResult learned =
+      sim::simulate(t, pricing, greedy, {}, &est);
+
+  EXPECT_GT(est.observations(), 0u);
+  EXPECT_GT(est.specific_hit_rate(), 0.25);
+  const double saving_truth = metrics::bill_saving_percent(rf, truth);
+  const double saving_learned = metrics::bill_saving_percent(rf, learned);
+  EXPECT_GT(saving_learned, 0.25 * saving_truth);
+}
+
+TEST(VisibilityIntegrationTest, BillingAlwaysUsesGroundTruth) {
+  trace::Trace t = trace::make_anl_bgp_like(1, 33);
+  assign_profiles(t, ProfileConfig{}, 33);
+  OnOffPeakPricing pricing(0.03, 3.0);
+  core::FcfsPolicy fcfs;  // order ignores power, so schedules are equal
+  const sim::SimResult truth = sim::simulate(t, pricing, fcfs);
+  BlindVisibility blind(1.0);
+  const sim::SimResult blinded =
+      sim::simulate(t, pricing, fcfs, {}, &blind);
+  // Same schedule, same *billed* energy despite the absurd visible power.
+  EXPECT_DOUBLE_EQ(truth.total_energy, blinded.total_energy);
+  EXPECT_DOUBLE_EQ(truth.total_bill, blinded.total_bill);
+}
+
+}  // namespace
+}  // namespace esched::power
