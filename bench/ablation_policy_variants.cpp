@@ -26,22 +26,57 @@ esched::DurationSec max_wait(const esched::sim::SimResult& r) {
 int main(int argc, char** argv) {
   using namespace esched;
   const bench::Options opt = bench::parse_options(argc, argv);
-  const auto tariff = bench::make_tariff(opt);
+  const std::shared_ptr<const power::PricingModel> tariff =
+      bench::make_tariff(opt);
+  const auto workloads = {bench::Workload::kAnlBgp,
+                          bench::Workload::kSdscBlue};
+  const auto greedy_keys = {core::GreedyKey::kPowerPerNode,
+                            core::GreedyKey::kTotalPower};
+  const auto guards = {DurationSec{0}, DurationSec{4 * 3600},
+                       DurationSec{1 * 3600}};
 
   std::printf("== Ablation: policy variants ==\n");
 
+  // Per workload: the FCFS baseline, the greedy-key variants, then the
+  // starvation-guard grid — all cells submitted to the runner at once.
+  std::vector<run::SimJob> sweep;
+  const auto base_config = bench::make_sim_config(opt);
+  for (const auto which : workloads) {
+    const auto t = std::make_shared<const trace::Trace>(
+        bench::load_workload(which, opt));
+    sweep.push_back({t, tariff,
+                     [] { return std::make_unique<core::FcfsPolicy>(); },
+                     base_config, ""});
+    for (const auto key : greedy_keys) {
+      sweep.push_back(
+          {t, tariff,
+           [key] { return std::make_unique<core::GreedyPowerPolicy>(key); },
+           base_config, ""});
+    }
+    for (const DurationSec guard : guards) {
+      sim::SimConfig config = base_config;
+      config.scheduler.starvation_age = guard;
+      sweep.push_back(
+          {t, tariff,
+           [] { return std::make_unique<core::GreedyPowerPolicy>(); },
+           config, ""});
+      sweep.push_back(
+          {t, tariff, [] { return std::make_unique<core::KnapsackPolicy>(); },
+           config, ""});
+    }
+  }
+  const auto all_results = bench::run_sweep(sweep, opt.jobs);
+  // Cells per workload: 1 FCFS + 2 greedy keys + 3 guards x 2 policies.
+  constexpr std::size_t kCellsPerWorkload = 1 + 2 + 3 * 2;
+
   Table greedy_table(
       {"Trace", "Greedy key", "Saving", "Mean wait (s)", "Max wait"});
-  for (const auto which :
-       {bench::Workload::kAnlBgp, bench::Workload::kSdscBlue}) {
-    const trace::Trace t = bench::load_workload(which, opt);
-    const auto config = bench::make_sim_config(opt);
-    core::FcfsPolicy fcfs;
-    const auto rf = sim::simulate(t, *tariff, fcfs, config);
-    for (const auto key :
-         {core::GreedyKey::kPowerPerNode, core::GreedyKey::kTotalPower}) {
-      core::GreedyPowerPolicy greedy(key);
-      const auto r = sim::simulate(t, *tariff, greedy, config);
+  std::size_t base = 0;
+  for (const auto which : workloads) {
+    const sim::SimResult& rf = all_results[base];
+    std::size_t cell = base + 1;
+    for (const auto key : greedy_keys) {
+      const sim::SimResult& r = all_results[cell++];
       greedy_table.add_row();
       greedy_table.cell(bench::workload_name(which));
       greedy_table.cell(key == core::GreedyKey::kPowerPerNode
@@ -51,27 +86,19 @@ int main(int argc, char** argv) {
       greedy_table.cell(r.mean_wait_seconds(), 1);
       greedy_table.cell(format_duration(max_wait(r)));
     }
+    base += kCellsPerWorkload;
   }
   bench::emit(greedy_table, "Greedy sort-key variants", opt.csv);
 
   Table guard_table({"Trace", "Guard", "Policy", "Saving", "Mean wait (s)",
                      "Max wait"});
-  for (const auto which :
-       {bench::Workload::kAnlBgp, bench::Workload::kSdscBlue}) {
-    const trace::Trace t = bench::load_workload(which, opt);
-    core::FcfsPolicy fcfs;
-    const auto rf =
-        sim::simulate(t, *tariff, fcfs, bench::make_sim_config(opt));
-    for (const DurationSec guard :
-         {DurationSec{0}, DurationSec{4 * 3600}, DurationSec{1 * 3600}}) {
-      sim::SimConfig config = bench::make_sim_config(opt);
-      config.scheduler.starvation_age = guard;
-      core::GreedyPowerPolicy greedy;
-      core::KnapsackPolicy knapsack;
-      for (core::SchedulingPolicy* policy :
-           std::initializer_list<core::SchedulingPolicy*>{&greedy,
-                                                          &knapsack}) {
-        const auto r = sim::simulate(t, *tariff, *policy, config);
+  base = 0;
+  for (const auto which : workloads) {
+    const sim::SimResult& rf = all_results[base];
+    std::size_t cell = base + 3;  // skip FCFS + the two greedy variants
+    for (const DurationSec guard : guards) {
+      for (std::size_t p = 0; p < 2; ++p) {
+        const sim::SimResult& r = all_results[cell++];
         guard_table.add_row();
         guard_table.cell(bench::workload_name(which));
         guard_table.cell(guard == 0 ? "off" : format_duration(guard));
@@ -81,6 +108,7 @@ int main(int argc, char** argv) {
         guard_table.cell(format_duration(max_wait(r)));
       }
     }
+    base += kCellsPerWorkload;
   }
   bench::emit(guard_table, "starvation-guard extension", opt.csv);
   return 0;

@@ -12,6 +12,8 @@
 //   --price-ratio R  on/off-peak price ratio (default 3)
 //   --tick T         scheduling frequency in seconds (default 10)
 //   --window W       scheduling window size (default 20)
+//   --jobs J         parallel sweep workers (default: ESCHED_JOBS env or
+//                    hardware_concurrency; results are identical for any J)
 //   --csv            emit CSV instead of ASCII tables
 #pragma once
 
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "power/pricing.hpp"
+#include "run/sweep.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
@@ -35,14 +38,22 @@ struct Options {
   std::uint64_t seed = 0;  ///< 0 = workload-specific canonical seed
   std::string swf_path;    ///< empty = synthetic
   double power_ratio = 3.0;
+  /// True when power_ratio was explicitly chosen (the --power-ratio flag,
+  /// or a driver overriding the field programmatically). Distinguishes
+  /// "leave a PowerColumn trace's real profiles alone" (default) from
+  /// "rescale to exactly 1:3" (explicit 3.0) — an exact-double sentinel
+  /// cannot tell those apart.
+  bool power_ratio_given = false;
   double price_ratio = 3.0;
   DurationSec tick = 10;
   std::size_t window = 20;
+  std::size_t jobs = 0;  ///< sweep parallelism; 0 = runner default
   bool csv = false;
 };
 
 /// Parse the shared flags (unknown flags are ignored so benches can add
-/// their own on top).
+/// their own on top). Validates ranges (months/window/tick >= 1) and
+/// fails fast with a flag-named error message.
 Options parse_options(int argc, const char* const* argv);
 
 /// Build the workload: synthetic unless --swf was given. Power profiles
@@ -59,10 +70,25 @@ std::unique_ptr<power::PricingModel> make_tariff(const Options& options);
 /// SimConfig from the shared options.
 sim::SimConfig make_sim_config(const Options& options);
 
+/// Factories for the paper's three policies in report order:
+/// FCFS (baseline), Greedy, Knapsack. Each task of a sweep constructs its
+/// own instance, so the factories are safe to reuse across cells.
+std::vector<run::PolicyFactory> standard_policy_factories();
+
 /// Run FCFS, Greedy and Knapsack over the trace; results in that order.
+/// Backed by the parallel sweep runner: the three simulations execute on
+/// `jobs` workers (0 = runner default, 1 = serial) with bit-identical
+/// results either way. Pass Options::jobs to honor --jobs.
 std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
                                              const power::PricingModel& tariff,
-                                             const sim::SimConfig& config);
+                                             const sim::SimConfig& config,
+                                             std::size_t jobs = 0);
+
+/// Submit a whole experiment grid through the parallel runner; results in
+/// submission order. Thin wrapper over run::SweepRunner for drivers that
+/// build their own run::SimJob vectors.
+std::vector<sim::SimResult> run_sweep(const std::vector<run::SimJob>& sweep,
+                                      std::size_t jobs = 0);
 
 /// Recompute a result's total bill under a different on/off price ratio
 /// without re-simulating: the schedule depends only on the period

@@ -10,13 +10,35 @@
 int main(int argc, char** argv) {
   using namespace esched;
   const bench::Options opt = bench::parse_options(argc, argv);
-  const auto tariff = bench::make_tariff(opt);
+  const std::shared_ptr<const power::PricingModel> tariff =
+      bench::make_tariff(opt);
   const auto config = bench::make_sim_config(opt);
+  const auto workloads = {bench::Workload::kSdscBlue,
+                          bench::Workload::kAnlBgp};
 
-  for (const auto which :
-       {bench::Workload::kSdscBlue, bench::Workload::kAnlBgp}) {
-    const trace::Trace t = bench::load_workload(which, opt);
-    const auto results = bench::run_all_policies(t, *tariff, config);
+  // Submit the whole grid (workload x policy) through the parallel
+  // runner at once; results come back in submission order.
+  std::vector<std::shared_ptr<const trace::Trace>> traces;
+  std::vector<run::SimJob> sweep;
+  for (const auto which : workloads) {
+    traces.push_back(std::make_shared<const trace::Trace>(
+        bench::load_workload(which, opt)));
+    for (run::PolicyFactory& factory : bench::standard_policy_factories()) {
+      sweep.push_back(
+          {traces.back(), tariff, std::move(factory), config, ""});
+    }
+  }
+  const auto all_results = bench::run_sweep(sweep, opt.jobs);
+
+  std::size_t workload_index = 0;
+  for (const auto which : workloads) {
+    const trace::Trace& t = *traces[workload_index];
+    const std::vector<sim::SimResult> results(
+        all_results.begin() +
+            static_cast<std::ptrdiff_t>(3 * workload_index),
+        all_results.begin() +
+            static_cast<std::ptrdiff_t>(3 * (workload_index + 1)));
+    ++workload_index;
     bench::print_header(
         which == bench::Workload::kSdscBlue
             ? "Fig. 7: electricity bill saving on SDSC-BLUE"

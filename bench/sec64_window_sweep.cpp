@@ -11,24 +11,48 @@
 #include "common.hpp"
 #include "metrics/metrics.hpp"
 
+namespace {
+constexpr std::size_t kWindows[] = {10, 20, 30, 50, 100, 200};
+}
+
 int main(int argc, char** argv) {
   using namespace esched;
   const bench::Options opt = bench::parse_options(argc, argv);
+  const auto workloads = {bench::Workload::kAnlBgp,
+                          bench::Workload::kSdscBlue};
 
-  for (const auto which :
-       {bench::Workload::kAnlBgp, bench::Workload::kSdscBlue}) {
-    const trace::Trace t = bench::load_workload(which, opt);
-    const auto tariff = bench::make_tariff(opt);
+  // One runner submission for the whole workload x window x policy grid.
+  std::vector<run::SimJob> sweep;
+  std::vector<std::shared_ptr<const trace::Trace>> traces;
+  const std::shared_ptr<const power::PricingModel> tariff =
+      bench::make_tariff(opt);
+  for (const auto which : workloads) {
+    traces.push_back(std::make_shared<const trace::Trace>(
+        bench::load_workload(which, opt)));
+    for (const std::size_t w : kWindows) {
+      bench::Options run_opt = opt;
+      run_opt.window = w;
+      for (run::PolicyFactory& factory :
+           bench::standard_policy_factories()) {
+        sweep.push_back({traces.back(), tariff, std::move(factory),
+                         bench::make_sim_config(run_opt), ""});
+      }
+    }
+  }
+  const auto all_results = bench::run_sweep(sweep, opt.jobs);
+  std::size_t next_cell = 0;
+
+  for (const auto which : workloads) {
     std::printf("\n== §6.4: scheduling-window sweep on %s ==\n",
                 bench::workload_name(which).c_str());
 
     Table table({"Window", "Greedy save", "Knapsack save", "Greedy util",
                  "Knapsack util", "Greedy wait", "Knapsack wait"});
-    for (const std::size_t w : {10u, 20u, 30u, 50u, 100u, 200u}) {
-      bench::Options run_opt = opt;
-      run_opt.window = w;
-      const auto results =
-          bench::run_all_policies(t, *tariff, bench::make_sim_config(run_opt));
+    for (const std::size_t w : kWindows) {
+      const std::vector<sim::SimResult> results(
+          all_results.begin() + static_cast<std::ptrdiff_t>(next_cell),
+          all_results.begin() + static_cast<std::ptrdiff_t>(next_cell + 3));
+      next_cell += 3;
       table.add_row();
       table.cell_int(static_cast<long long>(w));
       table.cell_percent(

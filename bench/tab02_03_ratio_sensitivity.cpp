@@ -25,9 +25,33 @@ constexpr esched::Money kOffPrice = 0.03;
 int main(int argc, char** argv) {
   using namespace esched;
   bench::Options opt = bench::parse_options(argc, argv);
+  const auto workloads = {bench::Workload::kAnlBgp,
+                          bench::Workload::kSdscBlue};
 
-  for (const auto which :
-       {bench::Workload::kAnlBgp, bench::Workload::kSdscBlue}) {
+  // The full grid — workload x power ratio x policy — is one submission
+  // to the parallel runner; the tables below slice the ordered results.
+  std::vector<run::SimJob> sweep;
+  std::vector<std::shared_ptr<const trace::Trace>> traces;
+  std::vector<std::shared_ptr<const power::PricingModel>> tariffs;
+  for (const auto which : workloads) {
+    for (const double power_ratio : kPowerRatios) {
+      bench::Options run_opt = opt;
+      run_opt.power_ratio = power_ratio;
+      run_opt.power_ratio_given = true;  // programmatic sweep point
+      traces.push_back(std::make_shared<const trace::Trace>(
+          bench::load_workload(which, run_opt)));
+      tariffs.push_back(bench::make_tariff(run_opt));
+      for (run::PolicyFactory& factory :
+           bench::standard_policy_factories()) {
+        sweep.push_back({traces.back(), tariffs.back(), std::move(factory),
+                         bench::make_sim_config(run_opt), ""});
+      }
+    }
+  }
+  const auto all_results = bench::run_sweep(sweep, opt.jobs);
+  std::size_t next_cell = 0;
+
+  for (const auto which : workloads) {
     std::printf("\n== Table %d: bill savings on %s ==\n",
                 which == bench::Workload::kAnlBgp ? 2 : 3,
                 bench::workload_name(which).c_str());
@@ -37,12 +61,10 @@ int main(int argc, char** argv) {
 
     Table table({"Power ratio", "price 1:3", "price 1:4", "price 1:5"});
     for (const double power_ratio : kPowerRatios) {
-      bench::Options run_opt = opt;
-      run_opt.power_ratio = power_ratio;
-      const trace::Trace t = bench::load_workload(which, run_opt);
-      const auto tariff = bench::make_tariff(run_opt);
-      const auto results =
-          bench::run_all_policies(t, *tariff, bench::make_sim_config(run_opt));
+      const std::vector<sim::SimResult> results(
+          all_results.begin() + static_cast<std::ptrdiff_t>(next_cell),
+          all_results.begin() + static_cast<std::ptrdiff_t>(next_cell + 3));
+      next_cell += 3;
 
       table.add_row();
       char label[16];

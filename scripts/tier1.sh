@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full ctest run, followed by a
+# ThreadSanitizer build of the threaded experiment-runner tests so data
+# races in src/run/ are caught structurally, not by luck.
+#
+# Usage: scripts/tier1.sh            (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+echo "== tier-1: TSan build of the runner tests =="
+# Separate build tree; only the two threaded test binaries are built (the
+# full suite under TSan would be slow and adds nothing — the rest of the
+# library is single-threaded).
+cmake -B build-tsan -S . -DESCHED_SANITIZE=thread \
+  -DESCHED_BUILD_BENCH=OFF -DESCHED_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j --target thread_pool_test sweep_runner_test
+./build-tsan/tests/thread_pool_test
+./build-tsan/tests/sweep_runner_test
+
+echo "== tier-1: all green =="

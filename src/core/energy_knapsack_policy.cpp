@@ -8,8 +8,8 @@ std::string EnergyKnapsackPolicy::name() const { return "EnergyKnapsack"; }
 
 KnapsackSolution EnergyKnapsackPolicy::select(
     std::span<const PendingJob> window, const ScheduleContext& ctx) const {
-  std::vector<KnapsackItem> items;
-  items.reserve(window.size());
+  items_.clear();
+  items_.reserve(window.size());
   for (const PendingJob& job : window) {
     // Seconds of this job expected to land in the current price period.
     // Without a known boundary, weight by the full walltime estimate
@@ -20,12 +20,12 @@ KnapsackSolution EnergyKnapsackPolicy::select(
             ? static_cast<double>(
                   std::min(job.walltime, ctx.period_end - ctx.now))
             : static_cast<double>(job.walltime);
-    items.push_back({job.nodes, job.total_power() * overlap});
+    items_.push_back({job.nodes, job.total_power() * overlap});
   }
   const auto objective = ctx.period == power::PricePeriod::kOnPeak
                              ? KnapsackObjective::kMaximizeWeightMinimizeValue
                              : KnapsackObjective::kMaximizeValue;
-  return solve_knapsack(items, ctx.free_nodes, objective);
+  return solve_knapsack(items_, ctx.free_nodes, objective, workspace_);
 }
 
 std::vector<std::size_t> EnergyKnapsackPolicy::prioritize(

@@ -23,6 +23,7 @@
 namespace esched::core {
 
 /// Knapsack on estimated within-period energy (extension; see header).
+/// Holds reusable solver scratch space; one instance per thread.
 class EnergyKnapsackPolicy final : public SchedulingPolicy {
  public:
   std::string name() const override;
@@ -32,6 +33,10 @@ class EnergyKnapsackPolicy final : public SchedulingPolicy {
   /// The raw selection, exposed for tests.
   KnapsackSolution select(std::span<const PendingJob> window,
                           const ScheduleContext& ctx) const;
+
+ private:
+  mutable KnapsackWorkspace workspace_;
+  mutable std::vector<KnapsackItem> items_;
 };
 
 }  // namespace esched::core

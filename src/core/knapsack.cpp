@@ -29,6 +29,14 @@ bool fill_better(std::int64_t w1, double v1, std::int64_t w2, double v2) {
 KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
                                 std::int64_t capacity,
                                 KnapsackObjective objective) {
+  KnapsackWorkspace workspace;
+  return solve_knapsack(items, capacity, objective, workspace);
+}
+
+KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
+                                std::int64_t capacity,
+                                KnapsackObjective objective,
+                                KnapsackWorkspace& workspace) {
   ESCHED_REQUIRE(capacity >= 0, "knapsack capacity must be >= 0");
   for (const auto& item : items) {
     ESCHED_REQUIRE(item.weight > 0, "knapsack weights must be positive");
@@ -41,22 +49,27 @@ KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
   const std::int64_t gcd = common_divisor(items, capacity);
   const auto cap = static_cast<std::size_t>(capacity / gcd);
   const std::size_t n = items.size();
+  const std::size_t row = cap + 1;
 
   // DP over capacities. For kMaximizeValue: best[w] = max value using
   // capacity exactly <= w (classic relaxed form). For the fill objective we
-  // track best (weight, value) pairs per capacity bound. `taken[i][w]` is
-  // the reconstruction table: did item i join the optimum for bound w?
+  // track best (weight, value) pairs per capacity bound. `taken[i*row + w]`
+  // is the reconstruction table: did item i join the optimum for bound w?
   // Memory: n * (cap+1) bytes — window <= a few hundred, cap <= system
-  // nodes / gcd, i.e. a few MiB worst case.
-  std::vector<double> best_value(cap + 1, 0.0);
-  std::vector<std::int64_t> best_weight(cap + 1, 0);
-  std::vector<std::vector<std::uint8_t>> taken(
-      n, std::vector<std::uint8_t>(cap + 1, 0));
+  // nodes / gcd, i.e. a few MiB worst case — held as one contiguous
+  // workspace buffer so a warm workspace allocates nothing per call.
+  std::vector<double>& best_value = workspace.best_value;
+  std::vector<std::int64_t>& best_weight = workspace.best_weight;
+  std::vector<std::uint8_t>& taken = workspace.taken;
+  best_value.assign(row, 0.0);
+  best_weight.assign(row, 0);
+  taken.assign(n * row, 0);
 
   for (std::size_t i = 0; i < n; ++i) {
     const auto w_i = static_cast<std::size_t>(items[i].weight / gcd);
     const double v_i = items[i].value;
     if (w_i > cap) continue;
+    std::uint8_t* taken_row = taken.data() + i * row;
     // Descending capacity loop: each item used at most once.
     for (std::size_t w = cap; w >= w_i; --w) {
       const double cand_value = best_value[w - w_i] + v_i;
@@ -72,7 +85,7 @@ KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
       if (better) {
         best_value[w] = cand_value;
         best_weight[w] = cand_weight;
-        taken[i][w] = 1;
+        taken_row[w] = 1;
       }
       if (w == w_i) break;  // std::size_t cannot go below 0
     }
@@ -81,7 +94,7 @@ KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
   // Reconstruct by walking items backwards from the full capacity.
   std::size_t w = cap;
   for (std::size_t i = n; i-- > 0;) {
-    if (taken[i][w]) {
+    if (taken[i * row + w]) {
       solution.chosen.push_back(i);
       solution.total_weight += items[i].weight;
       solution.total_value += items[i].value;

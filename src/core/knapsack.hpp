@@ -44,6 +44,22 @@ enum class KnapsackObjective {
   kMaximizeWeightMinimizeValue,
 };
 
+/// Reusable scratch buffers for solve_knapsack. The solver is called every
+/// scheduling pass (tens of thousands of times per simulation), and the
+/// reconstruction table alone is items x (capacity/gcd + 1) bytes; keeping
+/// one workspace per policy instance makes those allocations one-time
+/// capacity growth instead of per-call heap traffic. A warm workspace
+/// (same or smaller problem size) allocates nothing (knapsack_test pins
+/// this down by asserting stable buffer addresses).
+///
+/// Not thread-safe: one workspace per thread/policy instance — which the
+/// sweep runner guarantees by constructing policies per task.
+struct KnapsackWorkspace {
+  std::vector<double> best_value;        ///< DP value per capacity bound
+  std::vector<std::int64_t> best_weight; ///< DP weight per capacity bound
+  std::vector<std::uint8_t> taken;       ///< flattened n x (cap+1) table
+};
+
 /// Solve 0-1 knapsack over `items` with the given capacity and objective.
 /// O(items * capacity / gcd) time and space. Items with weight > capacity
 /// are never chosen. Deterministic: among equal-objective solutions the
@@ -52,6 +68,13 @@ enum class KnapsackObjective {
 KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
                                 std::int64_t capacity,
                                 KnapsackObjective objective);
+
+/// As above, but with caller-owned scratch space: zero heap allocations
+/// for the DP tables once `workspace` has grown to the problem size.
+KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
+                                std::int64_t capacity,
+                                KnapsackObjective objective,
+                                KnapsackWorkspace& workspace);
 
 /// Exponential-time exact reference (<= ~25 items) used by tests to verify
 /// the DP. Ties may be broken differently than solve_knapsack; compare

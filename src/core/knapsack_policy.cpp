@@ -8,15 +8,15 @@ std::string KnapsackPolicy::name() const { return "Knapsack"; }
 
 KnapsackSolution KnapsackPolicy::select(std::span<const PendingJob> window,
                                         const ScheduleContext& ctx) const {
-  std::vector<KnapsackItem> items;
-  items.reserve(window.size());
+  items_.clear();
+  items_.reserve(window.size());
   for (const PendingJob& job : window) {
-    items.push_back({job.nodes, job.total_power()});
+    items_.push_back({job.nodes, job.total_power()});
   }
   const auto objective = ctx.period == power::PricePeriod::kOnPeak
                              ? KnapsackObjective::kMaximizeWeightMinimizeValue
                              : KnapsackObjective::kMaximizeValue;
-  return solve_knapsack(items, ctx.free_nodes, objective);
+  return solve_knapsack(items_, ctx.free_nodes, objective, workspace_);
 }
 
 std::vector<std::size_t> KnapsackPolicy::prioritize(

@@ -18,6 +18,9 @@
 namespace esched::core {
 
 /// Knapsack-based window ordering. O(window * N_t / gcd) per decision.
+/// Instances hold reusable solver scratch space, so they are cheap to call
+/// every tick but not thread-safe: use one instance per thread (the sweep
+/// runner constructs policies per task for exactly this reason).
 class KnapsackPolicy final : public SchedulingPolicy {
  public:
   std::string name() const override;
@@ -28,6 +31,12 @@ class KnapsackPolicy final : public SchedulingPolicy {
   /// exposed for tests and for callers that want the raw subset.
   KnapsackSolution select(std::span<const PendingJob> window,
                           const ScheduleContext& ctx) const;
+
+ private:
+  // Scratch reused across scheduling passes (mutable: select() is
+  // logically const — it computes a value — but warms these buffers).
+  mutable KnapsackWorkspace workspace_;
+  mutable std::vector<KnapsackItem> items_;
 };
 
 }  // namespace esched::core

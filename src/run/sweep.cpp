@@ -1,0 +1,157 @@
+#include "run/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+#include "run/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace esched::run {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct TaskOutcome {
+  sim::SimResult result;
+  double seconds = 0.0;
+};
+
+TaskOutcome execute(const SimJob& job) {
+  const auto start = Clock::now();
+  std::unique_ptr<core::SchedulingPolicy> policy = job.make_policy();
+  ESCHED_REQUIRE(policy != nullptr, "SimJob factory returned null policy");
+  TaskOutcome out;
+  out.result = sim::simulate(*job.trace, *job.pricing, *policy, job.config);
+  out.seconds = seconds_since(start);
+  return out;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(std::size_t jobs)
+    : jobs_(jobs != 0 ? jobs : default_jobs()) {}
+
+std::size_t SweepRunner::default_jobs() {
+  if (const char* env = std::getenv("ESCHED_JOBS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+std::vector<sim::SimResult> SweepRunner::run(
+    const std::vector<SimJob>& sweep) {
+  for (const SimJob& job : sweep) {
+    ESCHED_REQUIRE(job.trace != nullptr, "SimJob without a trace");
+    ESCHED_REQUIRE(job.pricing != nullptr, "SimJob without a tariff");
+    ESCHED_REQUIRE(static_cast<bool>(job.make_policy),
+                   "SimJob without a policy factory");
+  }
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(jobs_, sweep.size()));
+  stats_ = SweepStats{};
+  stats_.tasks = sweep.size();
+  stats_.threads = workers;
+  const auto wall_start = Clock::now();
+
+  std::vector<TaskOutcome> outcomes;
+  outcomes.reserve(sweep.size());
+  if (workers == 1) {
+    // Inline serial execution: the reference the determinism test holds
+    // the threaded path to, and free of pool overhead for --jobs 1.
+    for (const SimJob& job : sweep) outcomes.push_back(execute(job));
+  } else {
+    ThreadPool pool(workers);
+    std::vector<std::future<TaskOutcome>> futures;
+    futures.reserve(sweep.size());
+    for (const SimJob& job : sweep) {
+      futures.push_back(pool.submit([&job] { return execute(job); }));
+    }
+    // Collect in submission order; future::get rethrows task exceptions,
+    // so the first failing cell (in submission order) surfaces after the
+    // pool settles — later cells still ran, which keeps shutdown simple.
+    for (std::future<TaskOutcome>& f : futures) {
+      outcomes.push_back(f.get());
+    }
+  }
+
+  stats_.wall_seconds = seconds_since(wall_start);
+  std::vector<sim::SimResult> results;
+  results.reserve(outcomes.size());
+  if (!outcomes.empty()) {
+    stats_.task_min_seconds = outcomes.front().seconds;
+    stats_.task_max_seconds = outcomes.front().seconds;
+  }
+  for (TaskOutcome& out : outcomes) {
+    stats_.cpu_seconds += out.seconds;
+    stats_.task_min_seconds = std::min(stats_.task_min_seconds, out.seconds);
+    stats_.task_max_seconds = std::max(stats_.task_max_seconds, out.seconds);
+    results.push_back(std::move(out.result));
+  }
+  if (!outcomes.empty()) {
+    stats_.task_mean_seconds =
+        stats_.cpu_seconds / static_cast<double>(outcomes.size());
+  }
+  return results;
+}
+
+std::shared_ptr<const trace::Trace> borrow(const trace::Trace& trace) {
+  return {std::shared_ptr<const void>(), &trace};
+}
+
+std::shared_ptr<const power::PricingModel> borrow(
+    const power::PricingModel& pricing) {
+  return {std::shared_ptr<const void>(), &pricing};
+}
+
+namespace {
+
+bool records_identical(const sim::JobRecord& a, const sim::JobRecord& b) {
+  return a.id == b.id && a.submit == b.submit && a.start == b.start &&
+         a.finish == b.finish && a.nodes == b.nodes &&
+         a.power_per_node == b.power_per_node && a.user == b.user;
+}
+
+}  // namespace
+
+bool results_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  if (a.policy_name != b.policy_name || a.trace_name != b.trace_name ||
+      a.system_nodes != b.system_nodes ||
+      a.horizon_begin != b.horizon_begin || a.horizon_end != b.horizon_end) {
+    return false;
+  }
+  if (a.total_bill != b.total_bill || a.bill_on_peak != b.bill_on_peak ||
+      a.bill_off_peak != b.bill_off_peak ||
+      a.total_energy != b.total_energy ||
+      a.energy_on_peak != b.energy_on_peak ||
+      a.energy_off_peak != b.energy_off_peak ||
+      a.it_energy != b.it_energy) {
+    return false;
+  }
+  if (a.scheduling_passes != b.scheduling_passes ||
+      a.ticks_processed != b.ticks_processed ||
+      a.placement_failures != b.placement_failures) {
+    return false;
+  }
+  if (a.records.size() != b.records.size()) return false;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (!records_identical(a.records[i], b.records[i])) return false;
+  }
+  return a.daily_bills == b.daily_bills && a.power_curve == b.power_curve &&
+         a.utilization_curve == b.utilization_curve;
+}
+
+}  // namespace esched::run

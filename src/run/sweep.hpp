@@ -1,0 +1,97 @@
+// The parallel experiment runner: fan a grid of independent trace-driven
+// simulations (policy x trace x tariff x config — the shape of every
+// table/figure sweep in bench/) across a fixed thread pool.
+//
+// Ownership rules (the reason the API looks the way it does):
+//  * Traces and tariffs are immutable during a run and *shared read-only*
+//    across tasks (`shared_ptr<const ...>`); nothing in sim/ mutates them.
+//  * Policies are stateful (scratch workspaces, per-run caches), so each
+//    task constructs its own instance from `make_policy` — no mutable
+//    state is ever shared between workers.
+//
+// Determinism: run() returns results in **submission order** regardless
+// of completion order, and sim::simulate is itself deterministic, so a
+// sweep executed with 1 thread and with N threads produces bit-identical
+// result vectors (sweep_runner_test asserts this; the TSan build of that
+// test guards the threading).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "power/pricing.hpp"
+#include "sim/result.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace esched::run {
+
+/// Constructs a fresh policy instance for one task.
+using PolicyFactory =
+    std::function<std::unique_ptr<core::SchedulingPolicy>()>;
+
+/// One cell of a sweep: everything sim::simulate needs, plus a label for
+/// reports. `trace` and `pricing` are shared read-only and must be
+/// non-null; `make_policy` is invoked once, on the worker thread.
+struct SimJob {
+  std::shared_ptr<const trace::Trace> trace;
+  std::shared_ptr<const power::PricingModel> pricing;
+  PolicyFactory make_policy;
+  sim::SimConfig config;
+  std::string label;
+};
+
+/// Counters from the last SweepRunner::run() — the measurable half of the
+/// speedup story (micro_sim_throughput --sweep prints these).
+struct SweepStats {
+  std::size_t tasks = 0;          ///< cells executed
+  std::size_t threads = 0;        ///< workers actually used
+  double wall_seconds = 0.0;      ///< end-to-end elapsed time
+  double cpu_seconds = 0.0;       ///< sum of per-task durations
+  double task_min_seconds = 0.0;
+  double task_mean_seconds = 0.0;
+  double task_max_seconds = 0.0;
+};
+
+/// Runs SimJob grids on `jobs` worker threads (0 = default_jobs()).
+/// A 1-thread runner executes inline on the calling thread — the serial
+/// reference the determinism test compares against.
+class SweepRunner {
+ public:
+  explicit SweepRunner(std::size_t jobs = 0);
+
+  /// Worker count used when the constructor gets 0: the ESCHED_JOBS
+  /// environment variable if set to a positive integer, else
+  /// std::thread::hardware_concurrency() (min 1).
+  static std::size_t default_jobs();
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Execute every cell; results in submission order. Throws (after all
+  /// tasks settle) the first task exception in submission order.
+  std::vector<sim::SimResult> run(const std::vector<SimJob>& sweep);
+
+  /// Counters from the most recent run().
+  const SweepStats& last_stats() const { return stats_; }
+
+ private:
+  std::size_t jobs_;
+  SweepStats stats_;
+};
+
+/// Non-owning shared_ptr view of a caller-owned trace/tariff (the caller
+/// must outlive the run). Lets reference-based call sites (bench::
+/// run_all_policies) feed the runner without copying.
+std::shared_ptr<const trace::Trace> borrow(const trace::Trace& trace);
+std::shared_ptr<const power::PricingModel> borrow(
+    const power::PricingModel& pricing);
+
+/// Exact (bit-identical) comparison of two simulation results: every
+/// record, bill, energy, curve and counter. The determinism contract of
+/// both sim::simulate and SweepRunner is stated in terms of this.
+bool results_identical(const sim::SimResult& a, const sim::SimResult& b);
+
+}  // namespace esched::run

@@ -1,22 +1,28 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace esched::sim {
 
+void EventQueue::reserve(std::size_t events) { heap_.reserve(events); }
+
 void EventQueue::push(TimeSec time, EventType type, std::size_t payload) {
-  heap_.push(Event{time, type, payload, next_seq_++});
+  heap_.push_back(Event{time, type, payload, next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 const Event& EventQueue::top() const {
   ESCHED_REQUIRE(!heap_.empty(), "top() on empty EventQueue");
-  return heap_.top();
+  return heap_.front();
 }
 
 Event EventQueue::pop() {
   ESCHED_REQUIRE(!heap_.empty(), "pop() on empty EventQueue");
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = heap_.back();
+  heap_.pop_back();
   return e;
 }
 

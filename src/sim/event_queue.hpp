@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "util/types.hpp"
@@ -32,9 +31,13 @@ struct Event {
 };
 
 /// Stable min-heap of events (earliest time first; see EventType for the
-/// same-time ordering).
+/// same-time ordering). Backed by a plain vector (std::push_heap /
+/// std::pop_heap) so the simulator can pre-reserve the event storage.
 class EventQueue {
  public:
+  /// Pre-allocate storage for `events` entries (capacity hint).
+  void reserve(std::size_t events);
+
   /// Add an event; `seq` is assigned internally.
   void push(TimeSec time, EventType type, std::size_t payload = 0);
 
@@ -55,7 +58,7 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;  // max-heap under Later == min-event first
   std::uint64_t next_seq_ = 0;
 };
 

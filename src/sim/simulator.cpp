@@ -48,6 +48,20 @@ class Engine {
     last_signal_time_ = result.horizon_begin;
     records_.resize(trace_.size());
 
+    // Pre-size the per-run containers so the event loop never reallocates
+    // in the common case: the wait queue is bounded by the trace, the
+    // running set by the node count (every job needs >= 1 node), and the
+    // event heap holds at most one submit + one finish per job plus a
+    // handful of outstanding ticks.
+    queue_.reserve(trace_.size());
+    queue_trace_idx_.reserve(trace_.size());
+    const std::size_t max_running = std::min(
+        trace_.size(), static_cast<std::size_t>(trace_.system_nodes()));
+    running_.reserve(max_running);
+    running_ids_.reserve(max_running);
+    running_pos_.reserve(max_running);
+    events_.reserve(2 * trace_.size() + 16);
+
     // Workflow dependencies: a dependent job's submit event is deferred
     // until its predecessor finishes. Only predecessors appearing earlier
     // in the trace are honored (rules out cycles and dangling ids).

@@ -1,0 +1,108 @@
+// Tests for the shared bench machinery (bench/common.{hpp,cpp}) —
+// especially the CLI contract: flag validation and the "--power-ratio
+// given explicitly" tracking that replaced the fragile `ratio != 3.0`
+// double-compare sentinel.
+#include "common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "trace/swf.hpp"
+#include "util/error.hpp"
+
+namespace esched::bench {
+namespace {
+
+Options parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bench");
+  return parse_options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchOptionsTest, DefaultsLeavePowerRatioImplicit) {
+  const Options opt = parse({});
+  EXPECT_DOUBLE_EQ(opt.power_ratio, 3.0);
+  EXPECT_FALSE(opt.power_ratio_given);
+  EXPECT_EQ(opt.jobs, 0u);
+}
+
+TEST(BenchOptionsTest, ExplicitPowerRatioIsTrackedEvenAtDefaultValue) {
+  const Options opt = parse({"--power-ratio", "3.0"});
+  EXPECT_DOUBLE_EQ(opt.power_ratio, 3.0);
+  EXPECT_TRUE(opt.power_ratio_given);
+}
+
+TEST(BenchOptionsTest, ParsesJobs) {
+  EXPECT_EQ(parse({"--jobs", "8"}).jobs, 8u);
+}
+
+TEST(BenchOptionsTest, RejectsZeroTickAndWindowAtParseTime) {
+  EXPECT_THROW(parse({"--tick", "0"}), Error);
+  EXPECT_THROW(parse({"--window", "0"}), Error);
+  EXPECT_THROW(parse({"--months", "0"}), Error);
+  EXPECT_NO_THROW(parse({"--tick", "1", "--window", "1"}));
+}
+
+class LoadWorkloadPowerColumnTest : public ::testing::Test {
+ protected:
+  // A PowerColumn SWF trace whose real profiles (10 and 100 W/node) are
+  // NOT at the paper's 1:3 shape, so rescaling is observable.
+  void SetUp() override {
+    trace::Trace t("power-swf", 64);
+    for (int i = 0; i < 2; ++i) {
+      trace::Job j;
+      j.id = i + 1;
+      j.submit = i * 60;
+      j.nodes = 8;
+      j.runtime = 600;
+      j.walltime = 900;
+      j.power_per_node = i == 0 ? 10.0 : 100.0;
+      j.user = 1;
+      t.add_job(j);
+    }
+    path_ = ::testing::TempDir() + "bench_common_power.swf";
+    trace::swf::save_file(path_, t, /*with_power_column=*/true);
+  }
+
+  std::string path_;
+};
+
+TEST_F(LoadWorkloadPowerColumnTest, DefaultRatioKeepsRealProfiles) {
+  Options opt;
+  opt.swf_path = path_;  // power_ratio 3.0 but not explicitly given
+  const trace::Trace t = load_workload(Workload::kSdscBlue, opt);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t[0].power_per_node, 10.0);
+  EXPECT_DOUBLE_EQ(t[1].power_per_node, 100.0);
+}
+
+TEST_F(LoadWorkloadPowerColumnTest, ExplicitDefaultRatioRescales) {
+  // `--power-ratio 3.0` passed explicitly must rescale the real profiles
+  // to a 1:3 span — the old `ratio != 3.0` sentinel silently ignored it.
+  Options opt;
+  opt.swf_path = path_;
+  opt.power_ratio = 3.0;
+  opt.power_ratio_given = true;
+  const trace::Trace t = load_workload(Workload::kSdscBlue, opt);
+  ASSERT_EQ(t.size(), 2u);
+  const double lo = std::min(t[0].power_per_node, t[1].power_per_node);
+  const double hi = std::max(t[0].power_per_node, t[1].power_per_node);
+  EXPECT_NE(hi, 100.0);  // actually rescaled
+  EXPECT_NEAR(hi / lo, 3.0, 1e-9);
+}
+
+TEST_F(LoadWorkloadPowerColumnTest, NonDefaultRatioStillRescales) {
+  Options opt;
+  opt.swf_path = path_;
+  opt.power_ratio = 4.0;
+  opt.power_ratio_given = true;
+  const trace::Trace t = load_workload(Workload::kSdscBlue, opt);
+  const double lo = std::min(t[0].power_per_node, t[1].power_per_node);
+  const double hi = std::max(t[0].power_per_node, t[1].power_per_node);
+  EXPECT_NEAR(hi / lo, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace esched::bench

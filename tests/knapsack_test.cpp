@@ -114,6 +114,60 @@ TEST(KnapsackTest, RejectsBadInputs) {
       solve_knapsack(ok, -1, KnapsackObjective::kMaximizeValue), Error);
 }
 
+TEST(KnapsackTest, WorkspaceOverloadMatchesPlainOverload) {
+  Rng rng(31);
+  KnapsackWorkspace ws;  // one workspace reused across every round
+  for (int round = 0; round < 80; ++round) {
+    std::vector<KnapsackItem> items;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 16));
+    for (std::size_t i = 0; i < n; ++i)
+      items.push_back({rng.uniform_int(1, 30),
+                       static_cast<double>(rng.uniform_int(0, 300))});
+    const std::int64_t cap = rng.uniform_int(0, 90);
+    for (const auto obj : {KnapsackObjective::kMaximizeValue,
+                           KnapsackObjective::kMaximizeWeightMinimizeValue}) {
+      const auto plain = solve_knapsack(items, cap, obj);
+      const auto reused = solve_knapsack(items, cap, obj, ws);
+      EXPECT_EQ(plain.chosen, reused.chosen);
+      EXPECT_EQ(plain.total_weight, reused.total_weight);
+      EXPECT_DOUBLE_EQ(plain.total_value, reused.total_value);
+    }
+  }
+}
+
+TEST(KnapsackTest, WarmWorkspacePerformsNoPerCallAllocations) {
+  // Warm the workspace on the largest problem in the mix, then assert
+  // that re-solving (same size and smaller) neither grows the buffer
+  // capacities nor moves the allocations — i.e. the reconstruction table
+  // costs zero heap traffic per call once warm.
+  const std::vector<KnapsackItem> big{{3, 30.0}, {5, 50.0}, {7, 70.0},
+                                      {4, 40.0}, {6, 60.0}};
+  const std::vector<KnapsackItem> small{{2, 20.0}, {3, 30.0}};
+  KnapsackWorkspace ws;
+  solve_knapsack(big, 15, KnapsackObjective::kMaximizeValue, ws);
+
+  const double* value_data = ws.best_value.data();
+  const std::int64_t* weight_data = ws.best_weight.data();
+  const std::uint8_t* taken_data = ws.taken.data();
+  const std::size_t value_cap = ws.best_value.capacity();
+  const std::size_t weight_cap = ws.best_weight.capacity();
+  const std::size_t taken_cap = ws.taken.capacity();
+
+  for (int round = 0; round < 10; ++round) {
+    for (const auto obj : {KnapsackObjective::kMaximizeValue,
+                           KnapsackObjective::kMaximizeWeightMinimizeValue}) {
+      solve_knapsack(big, 15, obj, ws);
+      solve_knapsack(small, 9, obj, ws);
+    }
+  }
+  EXPECT_EQ(ws.best_value.data(), value_data);
+  EXPECT_EQ(ws.best_weight.data(), weight_data);
+  EXPECT_EQ(ws.taken.data(), taken_data);
+  EXPECT_EQ(ws.best_value.capacity(), value_cap);
+  EXPECT_EQ(ws.best_weight.capacity(), weight_cap);
+  EXPECT_EQ(ws.taken.capacity(), taken_cap);
+}
+
 // Randomized equivalence with exhaustive search, both objectives.
 class KnapsackFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -1,0 +1,165 @@
+// Tests for the parallel experiment runner, above all its determinism
+// contract: a sweep run on 1 thread and on N threads yields bit-identical
+// result vectors. scripts/tier1.sh also runs this binary under
+// -DESCHED_SANITIZE=thread, which turns it into a structural data-race
+// check of the whole simulate() path.
+#include "run/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/knapsack_policy.hpp"
+#include "power/pricing.hpp"
+#include "power/profile.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace esched::run {
+namespace {
+
+std::shared_ptr<const trace::Trace> shared_test_trace() {
+  static const auto t = [] {
+    trace::Trace raw = trace::make_sdsc_blue_like(/*months=*/1, 2001);
+    power::assign_profiles(raw, power::ProfileConfig{}, 2001);
+    return std::make_shared<const trace::Trace>(std::move(raw));
+  }();
+  return t;
+}
+
+std::vector<SimJob> three_policy_sweep() {
+  const auto trace = shared_test_trace();
+  const std::shared_ptr<const power::PricingModel> tariff =
+      power::make_paper_tariff(3.0);
+  std::vector<SimJob> sweep;
+  sweep.push_back({trace, tariff,
+                   [] { return std::make_unique<core::FcfsPolicy>(); },
+                   sim::SimConfig{}, "fcfs"});
+  sweep.push_back(
+      {trace, tariff,
+       [] { return std::make_unique<core::GreedyPowerPolicy>(); },
+       sim::SimConfig{}, "greedy"});
+  sweep.push_back({trace, tariff,
+                   [] { return std::make_unique<core::KnapsackPolicy>(); },
+                   sim::SimConfig{}, "knapsack"});
+  return sweep;
+}
+
+TEST(SweepRunnerTest, OneAndManyThreadsProduceBitIdenticalResults) {
+  const std::vector<SimJob> sweep = three_policy_sweep();
+
+  SweepRunner serial(1);
+  const auto serial_results = serial.run(sweep);
+  SweepRunner parallel(4);
+  const auto parallel_results = parallel.run(sweep);
+
+  ASSERT_EQ(serial_results.size(), sweep.size());
+  ASSERT_EQ(parallel_results.size(), sweep.size());
+  // Submission order is preserved regardless of completion order...
+  EXPECT_EQ(serial_results[0].policy_name, "FCFS");
+  EXPECT_EQ(serial_results[1].policy_name, "Greedy");
+  EXPECT_EQ(serial_results[2].policy_name, "Knapsack");
+  // ...and every field (records, bills, energy, curves, counters) is
+  // bit-identical between the serial and the threaded execution.
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(parallel_results[i].policy_name,
+              serial_results[i].policy_name);
+    EXPECT_TRUE(results_identical(serial_results[i], parallel_results[i]))
+        << "cell " << i << " (" << sweep[i].label << ") diverged";
+  }
+}
+
+TEST(SweepRunnerTest, RepeatedParallelRunsAreStable) {
+  const std::vector<SimJob> sweep = three_policy_sweep();
+  SweepRunner runner(4);
+  const auto first = runner.run(sweep);
+  const auto second = runner.run(sweep);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(results_identical(first[i], second[i]));
+  }
+}
+
+TEST(SweepRunnerTest, StatsCountTasksAndTimings) {
+  const std::vector<SimJob> sweep = three_policy_sweep();
+  SweepRunner runner(2);
+  runner.run(sweep);
+  const SweepStats& stats = runner.last_stats();
+  EXPECT_EQ(stats.tasks, sweep.size());
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.cpu_seconds, 0.0);
+  EXPECT_LE(stats.task_min_seconds, stats.task_mean_seconds);
+  EXPECT_LE(stats.task_mean_seconds, stats.task_max_seconds);
+  EXPECT_GE(stats.cpu_seconds, stats.task_max_seconds);
+}
+
+TEST(SweepRunnerTest, EmptySweepYieldsEmptyResults) {
+  SweepRunner runner(4);
+  EXPECT_TRUE(runner.run({}).empty());
+  EXPECT_EQ(runner.last_stats().tasks, 0u);
+}
+
+TEST(SweepRunnerTest, UsesMoreWorkersThanCellsNever) {
+  const std::vector<SimJob> sweep = three_policy_sweep();
+  SweepRunner runner(16);
+  runner.run(sweep);
+  EXPECT_EQ(runner.last_stats().threads, sweep.size());
+}
+
+TEST(SweepRunnerTest, RejectsIncompleteJobs) {
+  SweepRunner runner(1);
+  std::vector<SimJob> sweep = three_policy_sweep();
+  sweep[1].make_policy = nullptr;
+  EXPECT_THROW(runner.run(sweep), Error);
+}
+
+TEST(SweepRunnerTest, PropagatesTaskExceptions) {
+  std::vector<SimJob> sweep = three_policy_sweep();
+  sweep[2].make_policy = []() -> std::unique_ptr<core::SchedulingPolicy> {
+    throw std::runtime_error("factory boom");
+  };
+  SweepRunner parallel(4);
+  EXPECT_THROW(parallel.run(sweep), std::runtime_error);
+  SweepRunner serial(1);
+  EXPECT_THROW(serial.run(sweep), std::runtime_error);
+}
+
+TEST(SweepRunnerTest, DefaultJobsHonorsEnvironment) {
+  // ESCHED_JOBS is read by default_jobs(); setenv is process-global, so
+  // restore the prior state.
+  const char* prev = std::getenv("ESCHED_JOBS");
+  const std::string saved = prev != nullptr ? prev : "";
+  ::setenv("ESCHED_JOBS", "3", 1);
+  EXPECT_EQ(SweepRunner::default_jobs(), 3u);
+  EXPECT_EQ(SweepRunner(0).jobs(), 3u);
+  ::setenv("ESCHED_JOBS", "not-a-number", 1);
+  EXPECT_GE(SweepRunner::default_jobs(), 1u);
+  if (prev != nullptr) {
+    ::setenv("ESCHED_JOBS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("ESCHED_JOBS");
+  }
+}
+
+TEST(SweepRunnerTest, ResultsIdenticalDetectsDivergence) {
+  const std::vector<SimJob> sweep = three_policy_sweep();
+  SweepRunner runner(1);
+  const auto results = runner.run(sweep);
+  sim::SimResult tweaked = results[0];
+  EXPECT_TRUE(results_identical(results[0], tweaked));
+  tweaked.total_bill += 1e-9;
+  EXPECT_FALSE(results_identical(results[0], tweaked));
+  sim::SimResult record_tweaked = results[0];
+  ASSERT_FALSE(record_tweaked.records.empty());
+  record_tweaked.records.back().start += 1;
+  EXPECT_FALSE(results_identical(results[0], record_tweaked));
+}
+
+}  // namespace
+}  // namespace esched::run
