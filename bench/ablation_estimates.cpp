@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     };
     for (const Variant& v : variants) {
       const auto results =
-          bench::run_all_policies(v.trace, *tariff, config);
+          bench::run_all_policies(v.trace, *tariff, config, opt);
       table.add_row();
       table.cell(bench::workload_name(which));
       table.cell(v.label);

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
            config, ""});
     }
   }
-  const auto all_results = bench::run_sweep(sweep, opt.jobs);
+  const auto all_results = bench::run_sweep(sweep, opt);
   // Cells per workload: 1 FCFS + 2 greedy keys + 3 guards x 2 policies.
   constexpr std::size_t kCellsPerWorkload = 1 + 2 + 3 * 2;
 

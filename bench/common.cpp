@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/fcfs_policy.hpp"
 #include "core/greedy_policy.hpp"
@@ -25,11 +26,26 @@ Options parse_options(int argc, const char* const* argv) {
   opt.window = static_cast<std::size_t>(args.get_int_or("window", 20));
   opt.jobs = static_cast<std::size_t>(args.get_int_or("jobs", 0));
   opt.csv = args.has("csv");
+  opt.trace_out = args.get_or("trace-out", "");
+  if (opt.trace_out.empty()) {
+    // Flagless opt-in for drivers invoked through scripts/CI wrappers.
+    if (const char* env = std::getenv("ESCHED_TRACE")) opt.trace_out = env;
+  }
+  opt.metrics_out = args.get_or("metrics-out", "");
+  opt.progress = args.has("progress");
   ESCHED_REQUIRE(opt.months >= 1, "--months must be >= 1");
   // Fail here, with the flag's name, instead of deep inside the Engine
   // (a zero tick) or with a silently empty window (a zero window).
   ESCHED_REQUIRE(opt.window >= 1, "--window must be >= 1");
   ESCHED_REQUIRE(opt.tick >= 1, "--tick must be >= 1");
+  // Observability side effects last, after validation can no longer
+  // reject the invocation: counters flip on when a metrics sink exists,
+  // and the tracer opens its two files eagerly (fail fast on a bad path).
+  if (!opt.metrics_out.empty()) obs::set_counters_enabled(true);
+  if (!opt.trace_out.empty()) {
+    opt.tracer = std::make_shared<obs::Tracer>();
+    opt.tracer->open(opt.trace_out);
+  }
   return opt;
 }
 
@@ -81,6 +97,7 @@ sim::SimConfig make_sim_config(const Options& opt) {
   sim::SimConfig cfg;
   cfg.tick_interval = opt.tick;
   cfg.scheduler.window_size = opt.window;
+  cfg.tracer = opt.tracer.get();
   return cfg;
 }
 
@@ -92,10 +109,11 @@ std::vector<run::PolicyFactory> standard_policy_factories() {
   };
 }
 
-std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
-                                             const power::PricingModel& tariff,
-                                             const sim::SimConfig& config,
-                                             std::size_t jobs) {
+namespace {
+
+std::vector<run::SimJob> all_policies_sweep(const trace::Trace& trace,
+                                            const power::PricingModel& tariff,
+                                            const sim::SimConfig& config) {
   std::vector<run::SimJob> sweep;
   const auto shared_trace = run::borrow(trace);
   const auto shared_tariff = run::borrow(tariff);
@@ -103,13 +121,52 @@ std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
     sweep.push_back(
         {shared_trace, shared_tariff, std::move(factory), config, ""});
   }
-  return run_sweep(sweep, jobs);
+  return sweep;
+}
+
+/// Stderr progress line, rewritten in place; finishes with a newline so
+/// the bench's stdout tables start clean.
+void render_progress(const run::SweepProgress& p) {
+  std::fprintf(stderr, "\r[sweep] %zu/%zu done, %.1fs elapsed, eta %.1fs ",
+               p.done, p.total, p.elapsed_seconds, p.eta_seconds);
+  if (p.done == p.total) std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace
+
+std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
+                                             const power::PricingModel& tariff,
+                                             const sim::SimConfig& config,
+                                             std::size_t jobs) {
+  return run_sweep(all_policies_sweep(trace, tariff, config), jobs);
+}
+
+std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
+                                             const power::PricingModel& tariff,
+                                             const sim::SimConfig& config,
+                                             const Options& options) {
+  return run_sweep(all_policies_sweep(trace, tariff, config), options);
 }
 
 std::vector<sim::SimResult> run_sweep(const std::vector<run::SimJob>& sweep,
                                       std::size_t jobs) {
   run::SweepRunner runner(jobs);
   return runner.run(sweep);
+}
+
+std::vector<sim::SimResult> run_sweep(const std::vector<run::SimJob>& sweep,
+                                      const Options& options) {
+  run::SweepRunner runner(options.jobs);
+  runner.set_tracer(options.tracer.get());
+  if (options.progress) runner.set_progress(render_progress);
+  std::vector<sim::SimResult> results = runner.run(sweep);
+  // Snapshot after every sweep (drivers may run several): the file always
+  // holds the cumulative totals of the process so far.
+  if (!options.metrics_out.empty()) {
+    obs::Registry::global().write_json_file(options.metrics_out);
+  }
+  return results;
 }
 
 Money bill_under_ratio(const sim::SimResult& result, Money off_price,

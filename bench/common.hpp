@@ -15,11 +15,22 @@
 //   --jobs J         parallel sweep workers (default: ESCHED_JOBS env or
 //                    hardware_concurrency; results are identical for any J)
 //   --csv            emit CSV instead of ASCII tables
+//
+// Observability (src/obs; all off by default, see DESIGN.md §obs):
+//   --trace-out F    write a Chrome trace_event JSON to F and a JSONL
+//                    scheduler-decision log to F.jsonl (the ESCHED_TRACE
+//                    environment variable is the flagless equivalent)
+//   --metrics-out F  enable the global counter registry and write its
+//                    JSON snapshot to F after each sweep
+//   --progress       live "done/total + ETA" sweep progress on stderr
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "power/pricing.hpp"
 #include "run/sweep.hpp"
 #include "sim/simulator.hpp"
@@ -49,6 +60,12 @@ struct Options {
   std::size_t window = 20;
   std::size_t jobs = 0;  ///< sweep parallelism; 0 = runner default
   bool csv = false;
+  std::string trace_out;    ///< --trace-out / ESCHED_TRACE; empty = off
+  std::string metrics_out;  ///< --metrics-out; empty = off
+  bool progress = false;    ///< --progress
+  /// Open tracer when trace_out is set (shared so Options stays
+  /// copyable; the last copy's destruction finalizes the trace files).
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 /// Parse the shared flags (unknown flags are ignored so benches can add
@@ -84,11 +101,24 @@ std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
                                              const sim::SimConfig& config,
                                              std::size_t jobs = 0);
 
+/// As above, honoring the full observability contract of `options`:
+/// --jobs, task trace spans (--trace-out), live progress (--progress) and
+/// a registry snapshot to --metrics-out after the sweep.
+std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
+                                             const power::PricingModel& tariff,
+                                             const sim::SimConfig& config,
+                                             const Options& options);
+
 /// Submit a whole experiment grid through the parallel runner; results in
 /// submission order. Thin wrapper over run::SweepRunner for drivers that
 /// build their own run::SimJob vectors.
 std::vector<sim::SimResult> run_sweep(const std::vector<run::SimJob>& sweep,
                                       std::size_t jobs = 0);
+
+/// Options-aware variant: wires the tracer, progress rendering and the
+/// metrics snapshot exactly like run_all_policies(..., options).
+std::vector<sim::SimResult> run_sweep(const std::vector<run::SimJob>& sweep,
+                                      const Options& options);
 
 /// Recompute a result's total bill under a different on/off price ratio
 /// without re-simulating: the schedule depends only on the period

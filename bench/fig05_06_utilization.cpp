@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   for (const auto which :
        {bench::Workload::kSdscBlue, bench::Workload::kAnlBgp}) {
     const trace::Trace t = bench::load_workload(which, opt);
-    const auto results = bench::run_all_policies(t, *tariff, config);
+    const auto results = bench::run_all_policies(t, *tariff, config, opt);
     bench::print_header(
         which == bench::Workload::kSdscBlue
             ? "Fig. 5: system utilization of SDSC-BLUE"

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
           {traces.back(), tariff, std::move(factory), config, ""});
     }
   }
-  const auto all_results = bench::run_sweep(sweep, opt.jobs);
+  const auto all_results = bench::run_sweep(sweep, opt);
 
   std::size_t workload_index = 0;
   for (const auto which : workloads) {

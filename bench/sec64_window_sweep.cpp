@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const auto all_results = bench::run_sweep(sweep, opt.jobs);
+  const auto all_results = bench::run_sweep(sweep, opt);
   std::size_t next_cell = 0;
 
   for (const auto which : workloads) {

@@ -13,13 +13,17 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
 echo "== tier-1: TSan build of the runner tests =="
-# Separate build tree; only the two threaded test binaries are built (the
+# Separate build tree; only the threaded test binaries are built (the
 # full suite under TSan would be slow and adds nothing — the rest of the
-# library is single-threaded).
+# library is single-threaded). sweep_runner_test runs a sweep with
+# counters hot and both trace sinks open, so the src/obs sharding and the
+# tracer mutex are exercised under real concurrency here.
 cmake -B build-tsan -S . -DESCHED_SANITIZE=thread \
   -DESCHED_BUILD_BENCH=OFF -DESCHED_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j --target thread_pool_test sweep_runner_test
+cmake --build build-tsan -j \
+  --target thread_pool_test sweep_runner_test obs_registry_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/sweep_runner_test
+./build-tsan/tests/obs_registry_test
 
 echo "== tier-1: all green =="

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace esched::core {
@@ -51,6 +52,14 @@ KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
   const std::size_t n = items.size();
   const std::size_t row = cap + 1;
 
+  // A "warm" workspace already holds buffers big enough for this problem:
+  // the assign() calls below then reuse capacity instead of allocating.
+  // The hit/solve ratio is the observable payoff of workspace reuse.
+  const bool workspace_warm = workspace.taken.capacity() >= n * row &&
+                              workspace.best_value.capacity() >= row &&
+                              workspace.best_weight.capacity() >= row;
+  std::uint64_t dp_cells = 0;
+
   // DP over capacities. For kMaximizeValue: best[w] = max value using
   // capacity exactly <= w (classic relaxed form). For the fill objective we
   // track best (weight, value) pairs per capacity bound. `taken[i*row + w]`
@@ -69,6 +78,7 @@ KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
     const auto w_i = static_cast<std::size_t>(items[i].weight / gcd);
     const double v_i = items[i].value;
     if (w_i > cap) continue;
+    dp_cells += static_cast<std::uint64_t>(cap - w_i + 1);
     std::uint8_t* taken_row = taken.data() + i * row;
     // Descending capacity loop: each item used at most once.
     for (std::size_t w = cap; w >= w_i; --w) {
@@ -102,6 +112,19 @@ KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
     }
   }
   std::reverse(solution.chosen.begin(), solution.chosen.end());
+
+  if (obs::counters_enabled()) {
+    // References resolved once; the registry guarantees stable addresses.
+    static obs::Counter& solves =
+        obs::Registry::global().counter("knapsack.solves");
+    static obs::Counter& cells =
+        obs::Registry::global().counter("knapsack.dp_cells");
+    static obs::Counter& reuse_hits =
+        obs::Registry::global().counter("knapsack.workspace_reuse_hits");
+    solves.add(1);
+    cells.add(dp_cells);
+    if (workspace_warm) reuse_hits.add(1);
+  }
   return solution;
 }
 

@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/error.hpp"
 
 namespace esched::core {
+
+namespace {
+
+// Backfill outcome accounting: attempts are candidate jobs tested against
+// the reservation, hits the ones actually started. Accumulated locally by
+// the decide paths and flushed once per pass, so the scheduling hot loop
+// stays atomic-free when observability is off.
+void flush_backfill_counters(std::uint64_t attempts, std::uint64_t hits) {
+  if (attempts == 0 || !obs::counters_enabled()) return;
+  static obs::Counter& attempts_counter =
+      obs::Registry::global().counter("sched.backfill_attempts");
+  static obs::Counter& hits_counter =
+      obs::Registry::global().counter("sched.backfill_hits");
+  attempts_counter.add(attempts);
+  hits_counter.add(hits);
+}
+
+}  // namespace
 
 Scheduler::Scheduler(SchedulingPolicy& policy, const SchedulerConfig& config)
     : policy_(&policy), config_(config) {
@@ -83,8 +102,11 @@ std::vector<std::size_t> Scheduler::decide_easy(
   if (accounted < queue[i].nodes) return starts;
   Reservation reservation =
       compute_reservation(queue[i].nodes, free, ctx.now, occupancy);
+  std::uint64_t attempts = 0;
+  std::uint64_t hits = 0;
   for (std::size_t j = i + 1; j < queue.size(); ++j) {
     if (free == 0) break;
+    ++attempts;
     if (!can_backfill(queue[j], free, ctx.now, reservation)) continue;
     // Backfills admitted via the extra-nodes clause consume them (they
     // still hold the nodes at shadow time); shadow-terminating backfills
@@ -93,8 +115,10 @@ std::vector<std::size_t> Scheduler::decide_easy(
       reservation.extra_nodes -= queue[j].nodes;
     }
     starts.push_back(j);
+    ++hits;
     free -= queue[j].nodes;
   }
+  flush_backfill_counters(attempts, hits);
   return starts;
 }
 
@@ -163,17 +187,22 @@ std::vector<std::size_t> Scheduler::decide_window(
   if (accounted < window[oldest_unstarted].nodes) return starts;
   Reservation reservation = compute_reservation(
       window[oldest_unstarted].nodes, free, ctx.now, occupancy);
+  std::uint64_t attempts = 0;
+  std::uint64_t hits = 0;
   for (std::size_t j = w; j < queue.size(); ++j) {
     if (free == 0) break;
+    ++attempts;
     if (!can_backfill(queue[j], free, ctx.now, reservation)) continue;
     if (power + queue[j].total_power() > budget) continue;
     if (ctx.now + queue[j].walltime > reservation.shadow_time) {
       reservation.extra_nodes -= queue[j].nodes;
     }
     starts.push_back(j);
+    ++hits;
     free -= queue[j].nodes;
     power += queue[j].total_power();
   }
+  flush_backfill_counters(attempts, hits);
   return starts;
 }
 

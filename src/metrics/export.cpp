@@ -97,26 +97,41 @@ void write_summary_json(std::ostream& out, const sim::SimResult& result) {
 }
 
 void export_all(const std::string& prefix, const sim::SimResult& result) {
+  // Open and write failures both throw with the offending path in the
+  // message: "the export silently produced a truncated CSV" (ENOSPC, a
+  // directory that vanished mid-run) is strictly worse than aborting.
   const auto open = [](const std::string& path) {
     std::ofstream out(path);
     ESCHED_REQUIRE(out.good(), "cannot write " + path);
     return out;
   };
+  const auto finish = [](std::ofstream& out, const std::string& path) {
+    out.flush();
+    ESCHED_REQUIRE(out.good(), "failed writing " + path);
+  };
   {
-    auto out = open(prefix + "_jobs.csv");
+    const std::string path = prefix + "_jobs.csv";
+    auto out = open(path);
     write_jobs_csv(out, result);
+    finish(out, path);
   }
   {
-    auto out = open(prefix + "_daily.csv");
+    const std::string path = prefix + "_daily.csv";
+    auto out = open(path);
     write_daily_bills_csv(out, result);
+    finish(out, path);
   }
   if (!result.power_curve.empty()) {
-    auto out = open(prefix + "_curves.csv");
+    const std::string path = prefix + "_curves.csv";
+    auto out = open(path);
     write_daily_curves_csv(out, result);
+    finish(out, path);
   }
   {
-    auto out = open(prefix + "_summary.json");
+    const std::string path = prefix + "_summary.json";
+    auto out = open(path);
     write_summary_json(out, result);
+    finish(out, path);
   }
 }
 

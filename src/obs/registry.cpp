@@ -1,0 +1,137 @@
+#include "obs/registry.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace esched::obs {
+
+namespace {
+
+/// Stable per-thread shard index: threads are dealt shards round-robin at
+/// first use, so a worker always hits the same cache line and up to
+/// kShards concurrent writers never collide.
+std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return shard;
+}
+
+std::uint64_t steady_nanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) noexcept {
+  shards_[this_thread_shard()].value.fetch_add(n,
+                                               std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(Timer& timer)
+    : timer_(counters_enabled() ? &timer : nullptr) {
+  if (timer_ != nullptr) start_nanos_ = steady_nanos();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (timer_ != nullptr) timer_->record(steady_nanos() - start_nanos_);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[name];
+  if (slot == nullptr) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, t] : timers_) {
+    snap.timers[name] = TimerValue{t->count(), t->total_nanos()};
+  }
+  return snap;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  const Snapshot snap = snapshot();
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"timers\": {";
+  first = true;
+  for (const auto& [name, value] : snap.timers) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": {\"count\": " << value.count
+        << ", \"total_nanos\": " << value.total_nanos << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void Registry::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  ESCHED_REQUIRE(out.good(), "cannot open metrics file " + path);
+  write_json(out);
+  out.flush();
+  ESCHED_REQUIRE(out.good(), "failed writing metrics file " + path);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : counters_) entry.second->reset();
+  for (const auto& entry : gauges_) entry.second->reset();
+  for (const auto& entry : timers_) entry.second->reset();
+}
+
+}  // namespace esched::obs

@@ -1,0 +1,143 @@
+#include "obs/tracer.hpp"
+
+#include <cstdio>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace esched::obs {
+
+namespace {
+
+/// Process-wide trace-track id per OS thread. Chrome's B/E pairing is
+/// per-tid, and span nesting is only guaranteed well-formed within one
+/// thread, so the thread IS the track. Ids are dealt at first use; 0 is
+/// reserved so tids read naturally in the viewer.
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+// Same minimal escaping contract as metrics/export.cpp: ASCII-safe JSON
+// strings without a JSON library.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::~Tracer() {
+  // Destruction must not throw; close() only throws while enabled, and
+  // a close() failure at destruction time has nobody left to tell.
+  try {
+    close();
+  } catch (const Error&) {
+  }
+}
+
+void Tracer::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ESCHED_REQUIRE(!enabled_.load(std::memory_order_relaxed) &&
+                     chrome_.rdbuf()->is_open() == false,
+                 "Tracer::open called twice");
+  path_ = path;
+  jsonl_path_ = path + kDecisionLogSuffix;
+  chrome_.open(path_);
+  ESCHED_REQUIRE(chrome_.good(), "cannot open trace file " + path_);
+  jsonl_.open(jsonl_path_);
+  ESCHED_REQUIRE(jsonl_.good(),
+                 "cannot open decision log " + jsonl_path_);
+  chrome_ << "{\"traceEvents\": [\n";
+  jsonl_.precision(std::numeric_limits<double>::max_digits10);
+  first_event_ = true;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::emit_event(const std::string& name, const char* category,
+                        char phase) {
+  // tid is read outside the lock (thread_local), timestamp inside it so
+  // ts is monotone in file order per thread.
+  const std::uint32_t tid = this_thread_tid();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  const double ts =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", ts);
+  chrome_ << (first_event_ ? "" : ",\n") << "{\"name\": \""
+          << json_escape(name) << "\", \"cat\": \"" << category
+          << "\", \"ph\": \"" << phase
+          << "\", \"pid\": 1, \"tid\": " << tid << ", \"ts\": " << buf
+          << "}";
+  first_event_ = false;
+}
+
+void Tracer::begin_span(const std::string& name, const char* category) {
+  emit_event(name, category, 'B');
+}
+
+void Tracer::end_span(const std::string& name, const char* category) {
+  emit_event(name, category, 'E');
+}
+
+void Tracer::record_tick(const TickRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  // Fixed key order — the JSONL schema documented in DESIGN.md; tests
+  // (and humans with grep) rely on it.
+  jsonl_ << "{\"sim\": \"" << json_escape(record.sim)
+         << "\", \"t\": " << record.time << ", \"period\": \""
+         << record.period << "\", \"free_before\": " << record.free_before
+         << ", \"free_after\": " << record.free_after
+         << ", \"queue\": " << record.queue_length
+         << ", \"passes\": " << record.passes << ", \"window\": [";
+  for (std::size_t i = 0; i < record.window_ids.size(); ++i) {
+    jsonl_ << (i == 0 ? "" : ", ") << "{\"id\": " << record.window_ids[i]
+           << ", \"power\": " << record.window_powers[i] << "}";
+  }
+  jsonl_ << "], \"dispatched\": [";
+  for (std::size_t i = 0; i < record.dispatched.size(); ++i) {
+    jsonl_ << (i == 0 ? "" : ", ") << record.dispatched[i];
+  }
+  jsonl_ << "], \"reason\": \"" << record.reason << "\"}\n";
+}
+
+void Tracer::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  enabled_.store(false, std::memory_order_release);
+  chrome_ << "\n]}\n";
+  chrome_.flush();
+  jsonl_.flush();
+  const bool chrome_ok = chrome_.good();
+  const bool jsonl_ok = jsonl_.good();
+  chrome_.close();
+  jsonl_.close();
+  ESCHED_REQUIRE(chrome_ok, "failed writing trace file " + path_);
+  ESCHED_REQUIRE(jsonl_ok, "failed writing decision log " + jsonl_path_);
+}
+
+}  // namespace esched::obs

@@ -1,0 +1,126 @@
+// Structured decision tracing for the simulation stack.
+//
+// A Tracer owns two sinks, both opened by open(path):
+//  * `<path>` — a Chrome trace_event JSON file ({"traceEvents": [...]})
+//    of duration spans ("B"/"E" pairs) for simulation phases and sweep
+//    tasks. Load it in Perfetto or chrome://tracing to see how a sweep's
+//    tasks packed onto workers and where each simulation spent its time.
+//  * `<path>.jsonl` — one JSON object per line, one line per *scheduler
+//    tick*: simulation label, tick time, price period, free nodes before
+//    and after, the scheduling window (job ids and per-node watts), the
+//    dispatched job ids and why the tick stopped scheduling. This is the
+//    record that lets a bench row be audited decision by decision
+//    (EXPERIMENTS.md shows a worked example for the Fig. 7/8 bench).
+//
+// A default-constructed Tracer is disabled: every record call is one
+// branch on an atomic load and nothing else, so `SimConfig::tracer` can
+// stay wired in release binaries at no cost. All record calls are
+// thread-safe (one mutex around the sinks — tracing is explicitly not a
+// hot path; the simulator emits at tick granularity, not event
+// granularity). Tracing never feeds back into scheduling: results with
+// tracing on are bit-identical to results with tracing off
+// (sweep_runner_test pins this).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace esched::obs {
+
+/// Everything the simulator knows about one scheduler tick, for the JSONL
+/// decision log. Window vectors are parallel (ids[i] draws powers[i]
+/// watts per node).
+struct TickRecord {
+  std::string sim;            ///< "<policy>/<trace>" label
+  TimeSec time = 0;           ///< tick time (simulation seconds)
+  const char* period = "";    ///< "on_peak" or "off_peak"
+  NodeCount free_before = 0;  ///< idle nodes entering the tick
+  NodeCount free_after = 0;   ///< idle nodes after dispatch
+  std::size_t queue_length = 0;  ///< waiting jobs entering the tick
+  std::size_t passes = 0;        ///< scheduler passes run this tick
+  std::vector<JobId> window_ids;     ///< first-pass scheduling window
+  std::vector<Watts> window_powers;  ///< per-node watts, parallel to ids
+  std::vector<JobId> dispatched;     ///< job ids started this tick
+  const char* reason = "";  ///< why scheduling stopped (see DESIGN.md)
+};
+
+/// Thread-safe two-sink trace writer. See the file comment for the model.
+class Tracer {
+ public:
+  /// Suffix appended to the Chrome-trace path for the decision log.
+  static constexpr const char* kDecisionLogSuffix = ".jsonl";
+
+  Tracer() = default;  ///< disabled until open()
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Open `<path>` (Chrome trace) and `<path>.jsonl` (decision log);
+  /// throws esched::Error naming the path on failure. May be called once.
+  void open(const std::string& path);
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+  const std::string& path() const { return path_; }
+  const std::string& decision_log_path() const { return jsonl_path_; }
+
+  /// Emit a "B" (span begin) event on the calling thread's trace track.
+  /// Every begin must be matched by an end_span with the same name from
+  /// the same thread; SpanGuard does this structurally.
+  void begin_span(const std::string& name, const char* category);
+  /// Emit the matching "E" event.
+  void end_span(const std::string& name, const char* category);
+
+  /// Append one line to the decision log.
+  void record_tick(const TickRecord& record);
+
+  /// Write the Chrome-trace footer and close both sinks; further record
+  /// calls become no-ops. Idempotent (the destructor calls it). Throws
+  /// esched::Error if either sink reports a write failure.
+  void close();
+
+ private:
+  void emit_event(const std::string& name, const char* category,
+                  char phase);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::ofstream chrome_;
+  std::ofstream jsonl_;
+  bool first_event_ = true;
+  std::chrono::steady_clock::time_point epoch_{};
+  std::string path_;
+  std::string jsonl_path_;
+};
+
+/// RAII span: begins on construction (when the tracer is non-null and
+/// enabled), ends on destruction. Safe to construct with tracer == null.
+class SpanGuard {
+ public:
+  SpanGuard(Tracer* tracer, std::string name, const char* category)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(std::move(name)),
+        category_(category) {
+    if (tracer_ != nullptr) tracer_->begin_span(name_, category_);
+  }
+  ~SpanGuard() {
+    if (tracer_ != nullptr) tracer_->end_span(name_, category_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  const char* category_;
+};
+
+}  // namespace esched::obs

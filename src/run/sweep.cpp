@@ -2,16 +2,36 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <mutex>
+#include <string>
 #include <thread>
 
+#include "obs/tracer.hpp"
 #include "run/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace esched::run {
 
 namespace {
+
+/// Warn (on stderr, once per distinct value) that ESCHED_JOBS was set but
+/// unusable. Silence here cost real debugging time: a typo'd value simply
+/// fell back to hardware_concurrency and sweeps "mysteriously" used the
+/// wrong parallelism.
+void warn_malformed_jobs_env(const char* value) {
+  static std::mutex mutex;
+  static std::string last_warned;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (last_warned == value) return;
+  last_warned = value;
+  std::fprintf(stderr,
+               "esched: ignoring malformed ESCHED_JOBS=\"%s\" (want a "
+               "positive integer); using hardware concurrency\n",
+               value);
+}
 
 using Clock = std::chrono::steady_clock;
 
@@ -46,6 +66,7 @@ std::size_t SweepRunner::default_jobs() {
     if (end != env && *end == '\0' && parsed >= 1) {
       return static_cast<std::size_t>(parsed);
     }
+    warn_malformed_jobs_env(env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? hw : 1;
@@ -65,20 +86,61 @@ std::vector<sim::SimResult> SweepRunner::run(
   stats_ = SweepStats{};
   stats_.tasks = sweep.size();
   stats_.threads = workers;
+  stats_.worker_busy_seconds.assign(workers, 0.0);
   const auto wall_start = Clock::now();
+
+  // Progress state shared by the workers; the mutex serializes callback
+  // invocations (the documented contract of ProgressCallback).
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+
+  // One task: trace span around the cell, busy-time attribution to the
+  // executing worker, then the progress callback. Worker slots are
+  // disjoint per thread (the inline path owns slot 0), so the busy-time
+  // writes need no lock; future::get / thread join publish them.
+  const auto run_task = [&](const SimJob& job, std::size_t index) {
+    std::string span_name;
+    if (tracer_ != nullptr) {
+      span_name =
+          "task:" + (job.label.empty() ? std::to_string(index) : job.label);
+    }
+    obs::SpanGuard span(tracer_, std::move(span_name), "sweep");
+    TaskOutcome out = execute(job);
+    std::size_t slot = ThreadPool::current_index();
+    if (slot >= workers) slot = 0;
+    stats_.worker_busy_seconds[slot] += out.seconds;
+    if (progress_) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      ++completed;
+      SweepProgress progress;
+      progress.done = completed;
+      progress.total = sweep.size();
+      progress.elapsed_seconds = seconds_since(wall_start);
+      progress.eta_seconds =
+          progress.elapsed_seconds /
+          static_cast<double>(completed) *
+          static_cast<double>(sweep.size() - completed);
+      progress_(progress);
+    }
+    return out;
+  };
 
   std::vector<TaskOutcome> outcomes;
   outcomes.reserve(sweep.size());
   if (workers == 1) {
     // Inline serial execution: the reference the determinism test holds
     // the threaded path to, and free of pool overhead for --jobs 1.
-    for (const SimJob& job : sweep) outcomes.push_back(execute(job));
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      outcomes.push_back(run_task(sweep[i], i));
+    }
   } else {
     ThreadPool pool(workers);
     std::vector<std::future<TaskOutcome>> futures;
     futures.reserve(sweep.size());
-    for (const SimJob& job : sweep) {
-      futures.push_back(pool.submit([&job] { return execute(job); }));
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SimJob& job = sweep[i];
+      futures.push_back(
+          pool.submit([&run_task, &job, i] { return run_task(job, i); }));
     }
     // Collect in submission order; future::get rethrows task exceptions,
     // so the first failing cell (in submission order) surfaces after the

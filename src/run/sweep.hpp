@@ -27,6 +27,10 @@
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
 
+namespace esched::obs {
+class Tracer;
+}  // namespace esched::obs
+
 namespace esched::run {
 
 /// Constructs a fresh policy instance for one task.
@@ -54,7 +58,31 @@ struct SweepStats {
   double task_min_seconds = 0.0;
   double task_mean_seconds = 0.0;
   double task_max_seconds = 0.0;
+  /// Per-worker sum of task durations, indexed by worker (size ==
+  /// `threads`; the 1-thread inline path attributes everything to 0).
+  std::vector<double> worker_busy_seconds;
+
+  /// Fraction of the wall time worker `i` spent executing tasks — the
+  /// load-balance picture of a sweep (0 when wall time is unmeasurable).
+  double worker_busy_fraction(std::size_t i) const {
+    if (i >= worker_busy_seconds.size() || wall_seconds <= 0.0) return 0.0;
+    return worker_busy_seconds[i] / wall_seconds;
+  }
 };
+
+/// Progress of an in-flight sweep, delivered after each completed task.
+struct SweepProgress {
+  std::size_t done = 0;           ///< tasks completed so far
+  std::size_t total = 0;          ///< tasks submitted
+  double elapsed_seconds = 0.0;   ///< since run() started
+  /// Naive remaining-time estimate: elapsed / done * (total - done).
+  double eta_seconds = 0.0;
+};
+
+/// Invoked after each task completes. Calls are serialized by the runner
+/// (so the callback itself needs no locking) but arrive on worker
+/// threads — keep it quick; rendering a stderr line is the intended use.
+using ProgressCallback = std::function<void(const SweepProgress&)>;
 
 /// Runs SimJob grids on `jobs` worker threads (0 = default_jobs()).
 /// A 1-thread runner executes inline on the calling thread — the serial
@@ -77,9 +105,22 @@ class SweepRunner {
   /// Counters from the most recent run().
   const SweepStats& last_stats() const { return stats_; }
 
+  /// Optional live progress reporting (see ProgressCallback). Replaces
+  /// any previous callback; pass {} to disable.
+  void set_progress(ProgressCallback callback) {
+    progress_ = std::move(callback);
+  }
+
+  /// Optional tracer: when open, every task is bracketed by a Chrome
+  /// trace span on its worker's track (and simulations inherit it only
+  /// if their SimConfig carries it too). Non-owning; must outlive run().
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   std::size_t jobs_;
   SweepStats stats_;
+  ProgressCallback progress_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Non-owning shared_ptr view of a caller-owned trace/tariff (the caller

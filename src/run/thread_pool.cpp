@@ -2,11 +2,20 @@
 
 namespace esched::run {
 
+namespace {
+thread_local std::size_t t_worker_index = ThreadPool::npos;
+}  // namespace
+
+std::size_t ThreadPool::current_index() { return t_worker_index; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   ESCHED_REQUIRE(threads >= 1, "thread pool needs at least one thread");
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      t_worker_index = i;
+      worker_loop();
+    });
   }
 }
 

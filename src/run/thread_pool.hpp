@@ -43,6 +43,15 @@ class ThreadPool {
   /// Number of tasks executed to completion (or to an exception) so far.
   std::size_t tasks_run() const;
 
+  /// Sentinel for "the calling thread is not a pool worker".
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// 0-based index of the calling thread within the pool that spawned it,
+  /// or `npos` on any other thread. Lets per-worker accounting (sweep
+  /// busy fractions, trace track ids) attribute work without plumbing an
+  /// index through every task signature.
+  static std::size_t current_index();
+
   /// Queue `fn` for execution; the future resolves with its return value
   /// or rethrows whatever it threw. Throws esched::Error after shutdown().
   template <typename F>

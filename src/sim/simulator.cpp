@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "power/billing.hpp"
 #include "sim/allocator.hpp"
 #include "sim/daily_curve.hpp"
@@ -25,6 +27,9 @@ class Engine {
         visibility_(visibility),
         scheduler_(policy, config.scheduler),
         config_(config),
+        tracer_(config.tracer != nullptr && config.tracer->enabled()
+                    ? config.tracer
+                    : nullptr),
         alloc_(make_allocator(config.contiguous_allocation,
                               trace.system_nodes(),
                               config.idle_watts_per_node)),
@@ -42,6 +47,10 @@ class Engine {
     result.policy_name = scheduler_.policy().name();
     result.trace_name = trace_.name();
     result.system_nodes = trace_.system_nodes();
+    if (tracer_ != nullptr) {
+      sim_label_ = result.policy_name + "/" + result.trace_name;
+    }
+    obs::SpanGuard run_span(tracer_, "sim:" + sim_label_, "sim");
     if (trace_.empty()) return result;
 
     result.horizon_begin = trace_.first_submit();
@@ -89,18 +98,22 @@ class Engine {
       if (!deferred) events_.push(j.submit, EventType::kJobSubmit, i);
     }
 
-    while (!events_.empty()) {
-      const Event ev = events_.pop();
-      switch (ev.type) {
-        case EventType::kJobSubmit:
-          handle_submit(ev);
-          break;
-        case EventType::kJobFinish:
-          handle_finish(ev);
-          break;
-        case EventType::kTick:
-          handle_tick(ev, result);
-          break;
+    {
+      obs::SpanGuard loop_span(tracer_, "event_loop:" + sim_label_, "sim");
+      while (!events_.empty()) {
+        const Event ev = events_.pop();
+        ++events_processed_;
+        switch (ev.type) {
+          case EventType::kJobSubmit:
+            handle_submit(ev);
+            break;
+          case EventType::kJobFinish:
+            handle_finish(ev);
+            break;
+          case EventType::kTick:
+            handle_tick(ev, result);
+            break;
+        }
       }
     }
 
@@ -133,6 +146,22 @@ class Engine {
     result.scheduling_passes = scheduling_passes_;
     result.ticks_processed = ticks_processed_;
     result.placement_failures = placement_failures_;
+
+    // One registry flush per run: the engine accumulates into plain
+    // members (free when observability is off) and publishes the totals
+    // here, so the event loop itself carries no atomic traffic.
+    if (obs::counters_enabled()) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("sim.runs").add(1);
+      reg.counter("sim.events_processed").add(events_processed_);
+      reg.counter("sim.ticks_materialized").add(ticks_processed_);
+      reg.counter("sim.tick_requests_deduped").add(tick_requests_deduped_);
+      reg.counter("sim.duplicate_ticks_skipped")
+          .add(duplicate_ticks_skipped_);
+      reg.counter("sim.scheduler_passes").add(scheduling_passes_);
+      reg.counter("sim.placement_failures").add(placement_failures_);
+      reg.counter("sim.jobs_completed").add(trace_.size());
+    }
     return result;
   }
 
@@ -191,18 +220,49 @@ class Engine {
   void handle_tick(const Event& ev, SimResult&) {
     // Duplicate materialised ticks are possible (several events may each
     // request the same boundary); process each boundary once.
-    if (ev.time == last_tick_done_) return;
+    if (ev.time == last_tick_done_) {
+      ++duplicate_ticks_skipped_;
+      return;
+    }
     last_tick_done_ = ev.time;
     ++ticks_processed_;
+
+    // Snapshot the decision inputs before the first pass mutates them.
+    obs::TickRecord tick_trace;
+    const bool tracing = tracer_ != nullptr && tracer_->enabled();
+    if (tracing) {
+      tick_trace.sim = sim_label_;
+      tick_trace.time = ev.time;
+      tick_trace.period =
+          pricing_.period_at(ev.time) == power::PricePeriod::kOnPeak
+              ? "on_peak"
+              : "off_peak";
+      tick_trace.free_before = alloc_->free_nodes();
+      tick_trace.queue_length = queue_.size();
+      const std::size_t w =
+          std::min(config_.scheduler.window_size, queue_.size());
+      tick_trace.window_ids.reserve(w);
+      tick_trace.window_powers.reserve(w);
+      for (std::size_t i = 0; i < w; ++i) {
+        tick_trace.window_ids.push_back(queue_[i].id);
+        tick_trace.window_powers.push_back(queue_[i].power_per_node);
+      }
+      tick_dispatched_.clear();
+      log_dispatches_ = true;
+    }
 
     // Re-run the scheduler until a pass starts nothing (so a fully
     // dispatched window refills within the tick), or until the configured
     // per-tick pass budget runs out (CQSim-style one-shot scheduling).
     std::size_t passes = 0;
     bool starts_exhausted = false;
+    const char* stop_reason = queue_.empty()        ? "queue_empty"
+                              : alloc_->free_nodes() <= 0 ? "machine_full"
+                                                          : "queue_drained";
     while (!queue_.empty() && alloc_->free_nodes() > 0) {
       if (config_.max_passes_per_tick != 0 &&
           passes >= config_.max_passes_per_tick) {
+        stop_reason = "pass_budget";
         break;
       }
       const core::ScheduleContext ctx{
@@ -215,14 +275,27 @@ class Engine {
           scheduler_.decide(ctx, queue_, running_);
       if (starts.empty()) {
         starts_exhausted = true;
+        stop_reason = "no_starts";
         break;
       }
       if (apply_starts(ev.time, starts) == 0) {
         // Count-feasible but unplaceable (fragmentation under the
         // contiguous model): nothing changes until a release.
         starts_exhausted = true;
+        stop_reason = "unplaceable";
         break;
       }
+      stop_reason = queue_.empty() ? "queue_drained" : "machine_full";
+    }
+
+    if (tracing) {
+      tick_trace.free_after = alloc_->free_nodes();
+      tick_trace.passes = passes;
+      tick_trace.dispatched = std::move(tick_dispatched_);
+      tick_trace.reason = stop_reason;
+      log_dispatches_ = false;
+      tick_dispatched_.clear();
+      tracer_->record_tick(tick_trace);
     }
 
     if (!queue_.empty()) {
@@ -259,6 +332,7 @@ class Engine {
       }
       started[qi] = true;
       ++placed;
+      if (log_dispatches_) tick_dispatched_.push_back(pj.id);
       add_running(pj.id, pj.nodes, now + pj.walltime);
       records_[trace_idx].start = now;
       events_.push(now + trace_[trace_idx].runtime, EventType::kJobFinish,
@@ -289,7 +363,10 @@ class Engine {
   void request_tick_at_boundary(TimeSec t) {
     const TimeSec tick = next_tick_at_or_after(t, config_.tick_interval);
     // Deduplicate the common case of many requests for the same boundary.
-    if (tick == last_tick_requested_) return;
+    if (tick == last_tick_requested_) {
+      ++tick_requests_deduped_;
+      return;
+    }
     last_tick_requested_ = tick;
     events_.push(tick, EventType::kTick);
   }
@@ -338,6 +415,10 @@ class Engine {
   power::PowerVisibility* visibility_;
   core::Scheduler scheduler_;
   SimConfig config_;
+  obs::Tracer* tracer_;            // null = tracing off for this run
+  std::string sim_label_;          // "<policy>/<trace>" (tracing only)
+  std::vector<JobId> tick_dispatched_;  // job ids started this tick
+  bool log_dispatches_ = false;
 
   std::unique_ptr<NodeAllocator> alloc_;
   power::BillingMeter meter_;
@@ -358,6 +439,9 @@ class Engine {
   std::uint64_t scheduling_passes_ = 0;
   std::uint64_t ticks_processed_ = 0;
   std::uint64_t placement_failures_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t tick_requests_deduped_ = 0;
+  std::uint64_t duplicate_ticks_skipped_ = 0;
 
   DailyCurveAccumulator power_curve_;
   DailyCurveAccumulator util_curve_;

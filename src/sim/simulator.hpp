@@ -20,6 +20,10 @@
 #include "sim/result.hpp"
 #include "trace/trace.hpp"
 
+namespace esched::obs {
+class Tracer;
+}  // namespace esched::obs
+
 namespace esched::sim {
 
 /// Simulation parameters (paper defaults).
@@ -61,6 +65,13 @@ struct SimConfig {
   bool record_daily_curves = true;
   /// Bins per day for those curves (must divide 86,400).
   std::size_t daily_curve_bins = 96;
+  /// Optional decision tracer (obs/tracer.hpp): when non-null and open,
+  /// the engine emits one JSONL record per scheduler tick plus Chrome
+  /// trace spans for the run's phases. Non-owning; must outlive the
+  /// simulation; safe to share across concurrent simulations (the tracer
+  /// serializes internally). Null (the default) costs nothing; tracing
+  /// never changes the SimResult.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Run `policy` over `trace` under `pricing`. The trace must be finalized

@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -43,6 +46,72 @@ TEST(BenchOptionsTest, RejectsZeroTickAndWindowAtParseTime) {
   EXPECT_THROW(parse({"--window", "0"}), Error);
   EXPECT_THROW(parse({"--months", "0"}), Error);
   EXPECT_NO_THROW(parse({"--tick", "1", "--window", "1"}));
+}
+
+TEST(BenchOptionsTest, ObservabilityIsOffByDefault) {
+  const Options opt = parse({});
+  EXPECT_TRUE(opt.trace_out.empty());
+  EXPECT_TRUE(opt.metrics_out.empty());
+  EXPECT_FALSE(opt.progress);
+  EXPECT_EQ(opt.tracer, nullptr);
+  EXPECT_EQ(make_sim_config(opt).tracer, nullptr);
+}
+
+TEST(BenchOptionsTest, MetricsOutEnablesCountersAndProgressParses) {
+  const bool was_enabled = obs::counters_enabled();
+  const Options opt =
+      parse({"--metrics-out", "/tmp/bench_common_m.json", "--progress"});
+  EXPECT_EQ(opt.metrics_out, "/tmp/bench_common_m.json");
+  EXPECT_TRUE(opt.progress);
+  EXPECT_TRUE(obs::counters_enabled());  // parse's documented side effect
+  obs::set_counters_enabled(was_enabled);
+}
+
+TEST(BenchOptionsTest, TraceOutOpensSharedTracerAndWiresSimConfig) {
+  const std::string path = ::testing::TempDir() + "bench_common_t.json";
+  {
+    const Options opt = parse({"--trace-out", path.c_str()});
+    ASSERT_NE(opt.tracer, nullptr);
+    EXPECT_TRUE(opt.tracer->enabled());
+    EXPECT_EQ(opt.tracer->path(), path);
+    // Copies share the one tracer; SimConfigs built from any copy point
+    // at it.
+    const Options copy = opt;
+    EXPECT_EQ(copy.tracer.get(), opt.tracer.get());
+    EXPECT_EQ(make_sim_config(copy).tracer, opt.tracer.get());
+  }  // last copy gone -> tracer closed, files finalized
+  std::ifstream chrome(path);
+  EXPECT_TRUE(chrome.good());
+  std::ifstream jsonl(path + obs::Tracer::kDecisionLogSuffix);
+  EXPECT_TRUE(jsonl.good());
+  std::remove(path.c_str());
+  std::remove((path + obs::Tracer::kDecisionLogSuffix).c_str());
+}
+
+TEST(BenchOptionsTest, EschedTraceEnvIsTheFlaglessTraceOut) {
+  const std::string path = ::testing::TempDir() + "bench_common_env.json";
+  ::setenv("ESCHED_TRACE", path.c_str(), 1);
+  {
+    const Options opt = parse({});
+    EXPECT_EQ(opt.trace_out, path);
+    ASSERT_NE(opt.tracer, nullptr);
+    // An explicit --trace-out wins over the environment.
+    const std::string flag_path =
+        ::testing::TempDir() + "bench_common_flag.json";
+    const Options explicit_opt = parse({"--trace-out", flag_path.c_str()});
+    EXPECT_EQ(explicit_opt.trace_out, flag_path);
+    std::remove(flag_path.c_str());
+    std::remove(
+        (flag_path + obs::Tracer::kDecisionLogSuffix).c_str());
+  }
+  ::unsetenv("ESCHED_TRACE");
+  std::remove(path.c_str());
+  std::remove((path + obs::Tracer::kDecisionLogSuffix).c_str());
+}
+
+TEST(BenchOptionsTest, TraceOutFailureNamesThePath) {
+  EXPECT_THROW(parse({"--trace-out", "/nonexistent-dir-esched/t.json"}),
+               Error);
 }
 
 class LoadWorkloadPowerColumnTest : public ::testing::Test {

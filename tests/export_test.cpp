@@ -112,5 +112,20 @@ TEST(ExportTest, ExportAllWritesFiles) {
   }
 }
 
+TEST(ExportTest, ExportAllThrowsWithPathOnUnwritablePrefix) {
+  const sim::SimResult r = small_result();
+  const std::string prefix = "/nonexistent-dir-esched/out";
+  try {
+    export_all(prefix, r);
+    FAIL() << "expected esched::Error";
+  } catch (const Error& e) {
+    // The message must carry the failing path — "cannot write" without
+    // saying what is the failure mode this test exists to prevent.
+    EXPECT_NE(std::string(e.what()).find(prefix + "_jobs.csv"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace esched::metrics

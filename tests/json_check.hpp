@@ -1,0 +1,178 @@
+// A tiny recursive-descent JSON *validator* for the golden-file tests of
+// the src/obs emitters (and metrics/export's summary JSON). This is not a
+// JSON library — it accepts exactly RFC 8259 syntax and reports the byte
+// offset of the first violation, which is all "did we emit valid JSON"
+// tests need, without taking on a dependency.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace esched::testjson {
+
+class Validator {
+ public:
+  explicit Validator(const std::string& text) : s_(text) {}
+
+  /// True when the whole input is one valid JSON value (surrounding
+  /// whitespace allowed). On failure, `error` (if non-null) describes the
+  /// first offense and its byte offset.
+  bool validate(std::string* error = nullptr) {
+    pos_ = 0;
+    error_.clear();
+    skip_ws();
+    const bool ok = value() && (skip_ws(), pos_ == s_.size());
+    if (!ok && error_.empty()) fail("trailing characters");
+    if (!ok && error != nullptr) *error = error_;
+    return ok;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ >= s_.size() || s_[pos_] != expected) {
+      return fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) {
+        return fail(std::string("bad literal (want ") + word + ")");
+      }
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') return consume('}');
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') return consume(']');
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') return consume('"');
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return fail("dangling escape");
+        const char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !is_hex(s_[pos_])) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (!digits()) return fail("bad number");
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) return fail("bad number fraction");
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digits()) return fail("bad number exponent");
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    return pos_ > start;
+  }
+
+  static bool is_hex(char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+           (c >= 'A' && c <= 'F');
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+inline bool is_valid_json(const std::string& text,
+                          std::string* error = nullptr) {
+  Validator v(text);
+  return v.validate(error);
+}
+
+}  // namespace esched::testjson

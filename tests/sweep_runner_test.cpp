@@ -7,10 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 
 #include "core/fcfs_policy.hpp"
 #include "core/greedy_policy.hpp"
@@ -145,6 +150,106 @@ TEST(SweepRunnerTest, DefaultJobsHonorsEnvironment) {
   } else {
     ::unsetenv("ESCHED_JOBS");
   }
+}
+
+TEST(SweepRunnerTest, MalformedEnvJobsWarnsExactlyOnce) {
+  const char* prev = std::getenv("ESCHED_JOBS");
+  const std::string saved = prev != nullptr ? prev : "";
+  // A value no other test uses: the warning fires once per *distinct*
+  // malformed value, which keeps this assertion order-independent.
+  ::setenv("ESCHED_JOBS", "12abc-sweep-warn-test", 1);
+  ::testing::internal::CaptureStderr();
+  EXPECT_GE(SweepRunner::default_jobs(), 1u);  // falls back to hardware
+  EXPECT_GE(SweepRunner::default_jobs(), 1u);  // repeat: must NOT re-warn
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  const std::string needle = "malformed ESCHED_JOBS=\"12abc-sweep-warn-test\"";
+  const std::size_t first = err.find(needle);
+  EXPECT_NE(first, std::string::npos) << err;
+  EXPECT_EQ(err.find(needle, first + 1), std::string::npos)
+      << "warned more than once:\n"
+      << err;
+  if (prev != nullptr) {
+    ::setenv("ESCHED_JOBS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("ESCHED_JOBS");
+  }
+}
+
+TEST(SweepRunnerTest, TracingAndCountersPreserveDeterminism) {
+  // The observability contract: counters hot + both trace sinks open must
+  // not perturb results, serial vs threaded. This is also the test that
+  // makes the TSan build (scripts/tier1.sh) exercise the sharded counters
+  // and the tracer mutex under real concurrency.
+  std::vector<SimJob> sweep = three_policy_sweep();
+
+  SweepRunner plain(1);
+  const auto baseline = plain.run(sweep);
+
+  const std::string trace_path =
+      ::testing::TempDir() + "sweep_runner_obs_test.json";
+  obs::Tracer tracer;
+  tracer.open(trace_path);
+  obs::set_counters_enabled(true);
+  for (SimJob& job : sweep) job.config.tracer = &tracer;
+
+  SweepRunner serial(1);
+  serial.set_tracer(&tracer);
+  const auto serial_results = serial.run(sweep);
+  SweepRunner parallel(4);
+  parallel.set_tracer(&tracer);
+  const auto parallel_results = parallel.run(sweep);
+
+  obs::set_counters_enabled(false);
+  tracer.close();
+  std::remove(trace_path.c_str());
+  std::remove((trace_path + obs::Tracer::kDecisionLogSuffix).c_str());
+
+  ASSERT_EQ(serial_results.size(), baseline.size());
+  ASSERT_EQ(parallel_results.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_TRUE(results_identical(baseline[i], serial_results[i]))
+        << "tracing changed serial cell " << i;
+    EXPECT_TRUE(results_identical(baseline[i], parallel_results[i]))
+        << "tracing changed parallel cell " << i;
+  }
+}
+
+TEST(SweepRunnerTest, ProgressReportsEveryTaskMonotonically) {
+  const std::vector<SimJob> sweep = three_policy_sweep();
+  SweepRunner runner(4);
+  std::vector<SweepProgress> seen;  // callback calls are serialized
+  runner.set_progress(
+      [&seen](const SweepProgress& p) { seen.push_back(p); });
+  runner.run(sweep);
+  ASSERT_EQ(seen.size(), sweep.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].done, i + 1);
+    EXPECT_EQ(seen[i].total, sweep.size());
+    EXPECT_GE(seen[i].elapsed_seconds, 0.0);
+    EXPECT_GE(seen[i].eta_seconds, 0.0);
+    if (i > 0) {
+      EXPECT_GE(seen[i].elapsed_seconds, seen[i - 1].elapsed_seconds);
+    }
+  }
+  EXPECT_DOUBLE_EQ(seen.back().eta_seconds, 0.0);
+}
+
+TEST(SweepRunnerTest, WorkerBusySecondsAccountForAllCpuTime) {
+  const std::vector<SimJob> sweep = three_policy_sweep();
+  SweepRunner runner(2);
+  runner.run(sweep);
+  const SweepStats& stats = runner.last_stats();
+  ASSERT_EQ(stats.worker_busy_seconds.size(), stats.threads);
+  double busy_total = 0.0;
+  for (std::size_t i = 0; i < stats.threads; ++i) {
+    EXPECT_GE(stats.worker_busy_seconds[i], 0.0);
+    EXPECT_GE(stats.worker_busy_fraction(i), 0.0);
+    busy_total += stats.worker_busy_seconds[i];
+  }
+  // Same durations, summed in a different order.
+  EXPECT_NEAR(busy_total, stats.cpu_seconds, 1e-9);
+  // Out-of-range worker index reads as "no busy time", not UB.
+  EXPECT_DOUBLE_EQ(stats.worker_busy_fraction(stats.threads + 5), 0.0);
 }
 
 TEST(SweepRunnerTest, ResultsIdenticalDetectsDivergence) {
