@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
     for (const bool backfill : {true, false}) {
       sim::SimConfig config = bench::make_sim_config(opt);
       config.scheduler.backfill_beyond_window = backfill;
-      const auto results = bench::run_all_policies(t, *tariff, config, opt);
+      const auto results =
+          bench::run_all_policies(which, t, *tariff, config, opt);
       for (std::size_t i = 1; i < results.size(); ++i) {
         table.add_row();
         table.cell(bench::workload_name(which));
@@ -52,7 +53,8 @@ int main(int argc, char** argv) {
          {core::BackfillMode::kEasy, core::BackfillMode::kConservative}) {
       sim::SimConfig config = bench::make_sim_config(opt);
       config.scheduler.backfill_mode = mode;
-      const auto results = bench::run_all_policies(t, *tariff, config, opt);
+      const auto results =
+          bench::run_all_policies(which, t, *tariff, config, opt);
       baseline.add_row();
       baseline.cell(bench::workload_name(which));
       baseline.cell(mode == core::BackfillMode::kEasy ? "EASY"

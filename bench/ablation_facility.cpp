@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
     for (const Row& row : rows) {
       sim::SimConfig config = bench::make_sim_config(opt);
       config.facility_model = row.model;
-      const auto results = bench::run_all_policies(t, *tariff, config, opt);
+      const auto results =
+          bench::run_all_policies(which, t, *tariff, config, opt);
       table.add_row();
       table.cell(bench::workload_name(which));
       table.cell(row.label);

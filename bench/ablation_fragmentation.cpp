@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
     for (const bool contiguous : {false, true}) {
       sim::SimConfig config = bench::make_sim_config(opt);
       config.contiguous_allocation = contiguous;
-      const auto results = bench::run_all_policies(t, *tariff, config, opt);
+      const auto results =
+          bench::run_all_policies(which, t, *tariff, config, opt);
       for (std::size_t i = 0; i < results.size(); ++i) {
         table.add_row();
         table.cell(bench::workload_name(which));

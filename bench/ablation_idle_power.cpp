@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
     for (const double idle : {0.0, 5.0, 12.7}) {
       sim::SimConfig config = bench::make_sim_config(opt);
       config.idle_watts_per_node = idle;
-      const auto results = bench::run_all_policies(t, *tariff, config, opt);
+      const auto results =
+          bench::run_all_policies(which, t, *tariff, config, opt);
       table.add_row();
       table.cell(bench::workload_name(which));
       table.cell(idle, 1);

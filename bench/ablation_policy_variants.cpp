@@ -39,30 +39,38 @@ int main(int argc, char** argv) {
 
   // Per workload: the FCFS baseline, the greedy-key variants, then the
   // starvation-guard grid — all cells submitted to the runner at once.
+  // Every variant is named (core::make_policy_by_name) and the guard is
+  // plain SimConfig data, so the whole grid is --isolate=proc eligible.
   std::vector<run::SimJob> sweep;
   const auto base_config = bench::make_sim_config(opt);
+  const run::PricingSpec pricing_spec = bench::tariff_spec(opt);
   for (const auto which : workloads) {
     const auto t = std::make_shared<const trace::Trace>(
         bench::load_workload(which, opt));
-    sweep.push_back({t, tariff,
-                     [] { return std::make_unique<core::FcfsPolicy>(); },
-                     base_config, ""});
+    const run::TraceSpec trace_spec = bench::workload_spec(which, opt);
+    const std::string wname = bench::workload_name(which);
+    sweep.push_back(bench::make_cell(t, tariff, trace_spec, pricing_spec,
+                                     "fcfs", base_config,
+                                     "fcfs/" + wname));
     for (const auto key : greedy_keys) {
-      sweep.push_back(
-          {t, tariff,
-           [key] { return std::make_unique<core::GreedyPowerPolicy>(key); },
-           base_config, ""});
+      const std::string name = key == core::GreedyKey::kPowerPerNode
+                                   ? "greedy"
+                                   : "greedy-total";
+      sweep.push_back(bench::make_cell(t, tariff, trace_spec, pricing_spec,
+                                       name, base_config,
+                                       name + "/" + wname));
     }
     for (const DurationSec guard : guards) {
       sim::SimConfig config = base_config;
       config.scheduler.starvation_age = guard;
-      sweep.push_back(
-          {t, tariff,
-           [] { return std::make_unique<core::GreedyPowerPolicy>(); },
-           config, ""});
-      sweep.push_back(
-          {t, tariff, [] { return std::make_unique<core::KnapsackPolicy>(); },
-           config, ""});
+      const std::string suffix =
+          "/" + wname + "/guard=" + std::to_string(guard);
+      sweep.push_back(bench::make_cell(t, tariff, trace_spec, pricing_spec,
+                                       "greedy", config,
+                                       "greedy" + suffix));
+      sweep.push_back(bench::make_cell(t, tariff, trace_spec, pricing_spec,
+                                       "knapsack", config,
+                                       "knapsack" + suffix));
     }
   }
   const auto all_results = bench::run_sweep(sweep, opt);

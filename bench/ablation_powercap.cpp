@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
     const trace::Trace t = bench::load_workload(which, opt);
     const auto tariff = bench::make_tariff(opt);
     const auto config = bench::make_sim_config(opt);
-    const auto results = bench::run_all_policies(t, *tariff, config, opt);
+    const auto results =
+          bench::run_all_policies(which, t, *tariff, config, opt);
 
     auto add = [&](const sim::SimResult& r) {
       table.add_row();

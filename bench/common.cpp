@@ -3,10 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <utility>
+
 #include "core/fcfs_policy.hpp"
 #include "core/greedy_policy.hpp"
 #include "core/knapsack_policy.hpp"
 #include "power/profile.hpp"
+#include "run/proc.hpp"
 #include "trace/swf.hpp"
 #include "trace/synthetic.hpp"
 #include "util/error.hpp"
@@ -26,6 +29,9 @@ Options parse_options(int argc, const char* const* argv) {
   opt.window = static_cast<std::size_t>(args.get_int_or("window", 20));
   opt.jobs = static_cast<std::size_t>(args.get_int_or("jobs", 0));
   opt.csv = args.has("csv");
+  opt.isolate = args.get_or("isolate", "off");
+  opt.task_timeout = args.get_double_or("task-timeout", 0.0);
+  opt.retries = static_cast<std::size_t>(args.get_int_or("retries", 2));
   opt.trace_out = args.get_or("trace-out", "");
   if (opt.trace_out.empty()) {
     // Flagless opt-in for drivers invoked through scripts/CI wrappers.
@@ -38,6 +44,9 @@ Options parse_options(int argc, const char* const* argv) {
   // (a zero tick) or with a silently empty window (a zero window).
   ESCHED_REQUIRE(opt.window >= 1, "--window must be >= 1");
   ESCHED_REQUIRE(opt.tick >= 1, "--tick must be >= 1");
+  ESCHED_REQUIRE(opt.isolate == "off" || opt.isolate == "proc",
+                 "--isolate must be \"off\" or \"proc\"");
+  ESCHED_REQUIRE(opt.task_timeout >= 0.0, "--task-timeout must be >= 0");
   // Observability side effects last, after validation can no longer
   // reject the invocation: counters flip on when a metrics sink exists,
   // and the tracer opens its two files eagerly (fail fast on a bad path).
@@ -50,39 +59,28 @@ Options parse_options(int argc, const char* const* argv) {
 }
 
 trace::Trace load_workload(Workload which, const Options& opt) {
-  trace::Trace trace = [&] {
-    if (!opt.swf_path.empty()) return trace::swf::load_file(opt.swf_path);
-    const std::uint64_t canonical =
-        which == Workload::kSdscBlue ? 2001u : 2009u;
-    const std::uint64_t seed = opt.seed != 0 ? opt.seed : canonical;
-    return which == Workload::kSdscBlue
-               ? trace::make_sdsc_blue_like(opt.months, seed)
-               : trace::make_anl_bgp_like(opt.months, seed);
-  }();
+  // Single source of truth: the declarative spec. An esched-worker that
+  // rebuilds the trace from the same spec runs exactly this code, which
+  // is what makes --isolate=proc bit-identical to in-process execution.
+  return run::build_trace(workload_spec(which, opt));
+}
 
-  // Assign the paper's synthetic power profiles unless the trace already
-  // carries real ones (a PowerColumn SWF). An *explicit* --power-ratio
-  // always rescales, even at the default value of 3.0 — "rescale these
-  // real profiles to exactly 1:3" is a meaningful request the old
-  // `power_ratio != 3.0` sentinel silently dropped.
-  bool has_power = false;
-  for (const trace::Job& j : trace.jobs()) {
-    if (j.power_per_node > 0.0) {
-      has_power = true;
-      break;
-    }
+run::TraceSpec workload_spec(Workload which, const Options& opt) {
+  run::TraceSpec spec;
+  if (!opt.swf_path.empty()) {
+    spec.source = "swf";
+    spec.swf_path = opt.swf_path;
+  } else {
+    spec.source = which == Workload::kSdscBlue ? "sdsc-blue" : "anl-bgp";
   }
-  if (!has_power || opt.power_ratio_given) {
-    power::ProfileConfig cfg;
-    cfg.ratio = opt.power_ratio;
-    if (has_power) {
-      power::rescale_profiles(trace, cfg.min_watts_per_node, cfg.ratio);
-    } else {
-      power::assign_profiles(trace, cfg,
-                             opt.seed != 0 ? opt.seed : 0xe5c4edULL);
-    }
-  }
-  return trace;
+  spec.months = opt.months;
+  spec.seed = opt.seed;
+  spec.power_ratio = opt.power_ratio;
+  spec.force_power_ratio = opt.power_ratio_given;
+  // Historical bench behaviour: the synthetic power draw reuses --seed
+  // when given (build_trace falls back to the canonical power seed at 0).
+  spec.power_seed = opt.seed;
+  return spec;
 }
 
 std::string workload_name(Workload which) {
@@ -91,6 +89,12 @@ std::string workload_name(Workload which) {
 
 std::unique_ptr<power::PricingModel> make_tariff(const Options& opt) {
   return power::make_paper_tariff(opt.price_ratio);
+}
+
+run::PricingSpec tariff_spec(const Options& opt) {
+  run::PricingSpec spec;  // model "paper", off-peak $0.03/kWh — the
+  spec.ratio = opt.price_ratio;  // make_paper_tariff constants
+  return spec;
 }
 
 sim::SimConfig make_sim_config(const Options& opt) {
@@ -109,6 +113,35 @@ std::vector<run::PolicyFactory> standard_policy_factories() {
   };
 }
 
+std::vector<std::string> standard_policy_names() {
+  return {"fcfs", "greedy", "knapsack"};
+}
+
+run::SimJob make_cell(std::shared_ptr<const trace::Trace> trace,
+                      std::shared_ptr<const power::PricingModel> tariff,
+                      const run::TraceSpec& trace_spec,
+                      const run::PricingSpec& pricing_spec,
+                      const std::string& policy,
+                      const sim::SimConfig& config, std::string label) {
+  run::SimJob job;
+  job.trace = std::move(trace);
+  job.pricing = std::move(tariff);
+  job.make_policy = [policy] { return core::make_policy_by_name(policy); };
+  job.config = config;
+  job.label = std::move(label);
+  if (config.facility_model == nullptr) {
+    auto spec = std::make_shared<run::JobSpec>();
+    spec->trace = trace_spec;
+    spec->pricing = pricing_spec;
+    spec->policy.name = policy;
+    spec->config = config;
+    spec->config.tracer = nullptr;  // pointers never cross the wire
+    spec->label = job.label;
+    job.spec = std::move(spec);
+  }
+  return job;
+}
+
 namespace {
 
 std::vector<run::SimJob> all_policies_sweep(const trace::Trace& trace,
@@ -119,7 +152,7 @@ std::vector<run::SimJob> all_policies_sweep(const trace::Trace& trace,
   const auto shared_tariff = run::borrow(tariff);
   for (run::PolicyFactory& factory : standard_policy_factories()) {
     sweep.push_back(
-        {shared_trace, shared_tariff, std::move(factory), config, ""});
+        {shared_trace, shared_tariff, std::move(factory), config, "", nullptr});
   }
   return sweep;
 }
@@ -131,6 +164,61 @@ void render_progress(const run::SweepProgress& p) {
                p.done, p.total, p.elapsed_seconds, p.eta_seconds);
   if (p.done == p.total) std::fputc('\n', stderr);
   std::fflush(stderr);
+}
+
+/// Why a sweep cannot run under --isolate=proc, or "" when it can.
+/// Facility models and tracers are process-local pointers; a cell built
+/// without make_cell carries no declarative spec at all.
+std::string isolate_blocker(const std::vector<run::SimJob>& sweep) {
+  for (const run::SimJob& job : sweep) {
+    if (job.spec == nullptr) {
+      return "a cell has no declarative spec (label \"" + job.label +
+             "\")";
+    }
+    if (job.config.facility_model != nullptr) {
+      return "a cell uses a facility model (label \"" + job.label + "\")";
+    }
+  }
+  if (!run::SubprocessPool::available()) {
+    return "esched-worker binary not found (build target esched-worker "
+           "or set ESCHED_WORKER)";
+  }
+  return {};
+}
+
+/// Degradation warning, once per process: --isolate=proc silently doing
+/// nothing would be worse than refusing, and refusing would break every
+/// facility-model bench invoked from a generic script.
+void warn_isolate_unavailable(const std::string& why) {
+  static bool warned = false;
+  if (warned) return;
+  warned = true;
+  std::fprintf(stderr,
+               "esched: --isolate=proc unavailable: %s; running in-process\n",
+               why.c_str());
+}
+
+std::vector<sim::SimResult> run_sweep_proc(
+    const std::vector<run::SimJob>& sweep, const Options& options) {
+  // The SimJob's own config/label are authoritative (a driver may tweak
+  // them after make_cell); only the declarative parts come from the spec.
+  std::vector<run::JobSpec> specs;
+  specs.reserve(sweep.size());
+  for (const run::SimJob& job : sweep) {
+    run::JobSpec spec = *job.spec;
+    spec.config = job.config;
+    spec.config.tracer = nullptr;
+    spec.label = job.label;
+    specs.push_back(std::move(spec));
+  }
+  run::SubprocessPoolConfig cfg;
+  cfg.workers = options.jobs;
+  cfg.task_timeout_seconds = options.task_timeout;
+  cfg.max_attempts = static_cast<std::uint32_t>(options.retries) + 1;
+  run::SubprocessPool pool(cfg);
+  pool.set_tracer(options.tracer.get());
+  if (options.progress) pool.set_progress(render_progress);
+  return pool.run(specs);
 }
 
 }  // namespace
@@ -149,6 +237,24 @@ std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
   return run_sweep(all_policies_sweep(trace, tariff, config), options);
 }
 
+std::vector<sim::SimResult> run_all_policies(Workload which,
+                                             const trace::Trace& trace,
+                                             const power::PricingModel& tariff,
+                                             const sim::SimConfig& config,
+                                             const Options& options) {
+  const run::TraceSpec trace_spec = workload_spec(which, options);
+  const run::PricingSpec pricing_spec = tariff_spec(options);
+  const auto shared_trace = run::borrow(trace);
+  const auto shared_tariff = run::borrow(tariff);
+  std::vector<run::SimJob> sweep;
+  for (const std::string& policy : standard_policy_names()) {
+    sweep.push_back(make_cell(shared_trace, shared_tariff, trace_spec,
+                              pricing_spec, policy, config,
+                              policy + "/" + workload_name(which)));
+  }
+  return run_sweep(sweep, options);
+}
+
 std::vector<sim::SimResult> run_sweep(const std::vector<run::SimJob>& sweep,
                                       std::size_t jobs) {
   run::SweepRunner runner(jobs);
@@ -157,10 +263,18 @@ std::vector<sim::SimResult> run_sweep(const std::vector<run::SimJob>& sweep,
 
 std::vector<sim::SimResult> run_sweep(const std::vector<run::SimJob>& sweep,
                                       const Options& options) {
-  run::SweepRunner runner(options.jobs);
-  runner.set_tracer(options.tracer.get());
-  if (options.progress) runner.set_progress(render_progress);
-  std::vector<sim::SimResult> results = runner.run(sweep);
+  std::vector<sim::SimResult> results;
+  std::string blocker;
+  if (options.isolate == "proc" &&
+      (blocker = isolate_blocker(sweep)).empty()) {
+    results = run_sweep_proc(sweep, options);
+  } else {
+    if (options.isolate == "proc") warn_isolate_unavailable(blocker);
+    run::SweepRunner runner(options.jobs);
+    runner.set_tracer(options.tracer.get());
+    if (options.progress) runner.set_progress(render_progress);
+    results = runner.run(sweep);
+  }
   // Snapshot after every sweep (drivers may run several): the file always
   // holds the cumulative totals of the process so far.
   if (!options.metrics_out.empty()) {

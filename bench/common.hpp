@@ -16,6 +16,22 @@
 //                    hardware_concurrency; results are identical for any J)
 //   --csv            emit CSV instead of ASCII tables
 //
+// Process isolation (src/run/proc; see DESIGN.md §multi-process sweeps):
+//   --isolate M        "off" (default): in-process SweepRunner threads.
+//                      "proc": fan cells out to esched-worker subprocesses;
+//                      a crashed or hung worker costs one task attempt,
+//                      not the sweep. Results are bit-identical either
+//                      way. Falls back to in-process (with a stderr
+//                      warning) when the sweep cannot be isolated — cells
+//                      without declarative specs, a facility model, or no
+//                      esched-worker binary next to the bench.
+//   --task-timeout S   per-task wall-clock timeout in seconds under
+//                      --isolate=proc; expiry kills the worker and retries
+//                      the cell (0 = no timeout, the default)
+//   --retries N        retry budget per cell under --isolate=proc after
+//                      its first attempt (default 2); exhausting it fails
+//                      the bench naming the cell
+//
 // Observability (src/obs; all off by default, see DESIGN.md §obs):
 //   --trace-out F    write a Chrome trace_event JSON to F and a JSONL
 //                    scheduler-decision log to F.jsonl (the ESCHED_TRACE
@@ -32,6 +48,7 @@
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "power/pricing.hpp"
+#include "run/spec.hpp"
 #include "run/sweep.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
@@ -60,6 +77,9 @@ struct Options {
   std::size_t window = 20;
   std::size_t jobs = 0;  ///< sweep parallelism; 0 = runner default
   bool csv = false;
+  std::string isolate = "off";  ///< --isolate: "off" | "proc"
+  double task_timeout = 0.0;    ///< --task-timeout seconds; 0 = none
+  std::size_t retries = 2;      ///< --retries per cell (attempts - 1)
   std::string trace_out;    ///< --trace-out / ESCHED_TRACE; empty = off
   std::string metrics_out;  ///< --metrics-out; empty = off
   bool progress = false;    ///< --progress
@@ -75,14 +95,24 @@ Options parse_options(int argc, const char* const* argv);
 
 /// Build the workload: synthetic unless --swf was given. Power profiles
 /// are (re-)assigned with the requested ratio unless the SWF file carries
-/// its own power column and the ratio is left at the default.
+/// its own power column and the ratio is left at the default. Delegates
+/// to run::build_trace(workload_spec(...)) — the declarative spec is the
+/// single source of truth, so an esched-worker rebuilding the trace from
+/// the spec reproduces this function bit for bit.
 trace::Trace load_workload(Workload which, const Options& options);
+
+/// The declarative twin of load_workload: the TraceSpec whose
+/// run::build_trace yields the exact same trace.
+run::TraceSpec workload_spec(Workload which, const Options& options);
 
 /// Human-readable workload name.
 std::string workload_name(Workload which);
 
 /// The paper's tariff at the requested ratio.
 std::unique_ptr<power::PricingModel> make_tariff(const Options& options);
+
+/// The declarative twin of make_tariff.
+run::PricingSpec tariff_spec(const Options& options);
 
 /// SimConfig from the shared options.
 sim::SimConfig make_sim_config(const Options& options);
@@ -91,6 +121,22 @@ sim::SimConfig make_sim_config(const Options& options);
 /// FCFS (baseline), Greedy, Knapsack. Each task of a sweep constructs its
 /// own instance, so the factories are safe to reuse across cells.
 std::vector<run::PolicyFactory> standard_policy_factories();
+
+/// The same three policies as declarative names (core::
+/// make_policy_by_name order: "fcfs", "greedy", "knapsack").
+std::vector<std::string> standard_policy_names();
+
+/// One sweep cell carrying both its runnable pointers and its declarative
+/// spec, which is what makes the cell eligible for --isolate=proc. The
+/// JobSpec's config copy drops the tracer/facility pointers (they cannot
+/// cross a process boundary); when `config` carries a facility model the
+/// cell is built *without* a spec and the sweep degrades to in-process.
+run::SimJob make_cell(std::shared_ptr<const trace::Trace> trace,
+                      std::shared_ptr<const power::PricingModel> tariff,
+                      const run::TraceSpec& trace_spec,
+                      const run::PricingSpec& pricing_spec,
+                      const std::string& policy,
+                      const sim::SimConfig& config, std::string label);
 
 /// Run FCFS, Greedy and Knapsack over the trace; results in that order.
 /// Backed by the parallel sweep runner: the three simulations execute on
@@ -105,6 +151,17 @@ std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
 /// --jobs, task trace spans (--trace-out), live progress (--progress) and
 /// a registry snapshot to --metrics-out after the sweep.
 std::vector<sim::SimResult> run_all_policies(const trace::Trace& trace,
+                                             const power::PricingModel& tariff,
+                                             const sim::SimConfig& config,
+                                             const Options& options);
+
+/// Spec-carrying variant: `which` names the workload declaratively, so
+/// the three cells are eligible for --isolate=proc (the trace/tariff
+/// arguments must be the ones load_workload/make_tariff built from the
+/// same options). Honors the observability contract like the overload
+/// above.
+std::vector<sim::SimResult> run_all_policies(Workload which,
+                                             const trace::Trace& trace,
                                              const power::PricingModel& tariff,
                                              const sim::SimConfig& config,
                                              const Options& options);

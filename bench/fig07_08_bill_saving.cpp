@@ -17,15 +17,20 @@ int main(int argc, char** argv) {
                           bench::Workload::kAnlBgp};
 
   // Submit the whole grid (workload x policy) through the parallel
-  // runner at once; results come back in submission order.
+  // runner at once; results come back in submission order. Each cell
+  // carries its declarative spec, so --isolate=proc can ship it to a
+  // worker process.
+  const run::PricingSpec pricing_spec = bench::tariff_spec(opt);
   std::vector<std::shared_ptr<const trace::Trace>> traces;
   std::vector<run::SimJob> sweep;
   for (const auto which : workloads) {
     traces.push_back(std::make_shared<const trace::Trace>(
         bench::load_workload(which, opt)));
-    for (run::PolicyFactory& factory : bench::standard_policy_factories()) {
-      sweep.push_back(
-          {traces.back(), tariff, std::move(factory), config, ""});
+    const run::TraceSpec trace_spec = bench::workload_spec(which, opt);
+    for (const std::string& policy : bench::standard_policy_names()) {
+      sweep.push_back(bench::make_cell(
+          traces.back(), tariff, trace_spec, pricing_spec, policy, config,
+          policy + "/" + bench::workload_name(which)));
     }
   }
   const auto all_results = bench::run_sweep(sweep, opt);

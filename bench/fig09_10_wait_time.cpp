@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   for (const auto which :
        {bench::Workload::kSdscBlue, bench::Workload::kAnlBgp}) {
     const trace::Trace t = bench::load_workload(which, opt);
-    const auto results = bench::run_all_policies(t, *tariff, config, opt);
+    const auto results =
+        bench::run_all_policies(which, t, *tariff, config, opt);
     bench::print_header(
         which == bench::Workload::kSdscBlue
             ? "Fig. 9: average job wait time on SDSC-BLUE"

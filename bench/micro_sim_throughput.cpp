@@ -164,7 +164,7 @@ int run_sweep_mode(const CliArgs& args) {
     };
     for (const run::PolicyFactory& factory : factories) {
       sweep.push_back({traces.back(), tariff, factory, sim::SimConfig{},
-                       "ratio=" + std::to_string(ratio)});
+                       "ratio=" + std::to_string(ratio), nullptr});
     }
   }
 

@@ -26,16 +26,22 @@ int main(int argc, char** argv) {
   std::vector<std::shared_ptr<const trace::Trace>> traces;
   const std::shared_ptr<const power::PricingModel> tariff =
       bench::make_tariff(opt);
+  const run::PricingSpec pricing_spec = bench::tariff_spec(opt);
   for (const auto which : workloads) {
     traces.push_back(std::make_shared<const trace::Trace>(
         bench::load_workload(which, opt)));
+    const run::TraceSpec trace_spec = bench::workload_spec(which, opt);
     for (const std::size_t w : kWindows) {
       bench::Options run_opt = opt;
       run_opt.window = w;
-      for (run::PolicyFactory& factory :
-           bench::standard_policy_factories()) {
-        sweep.push_back({traces.back(), tariff, std::move(factory),
-                         bench::make_sim_config(run_opt), ""});
+      for (const std::string& policy : bench::standard_policy_names()) {
+        char label[64];
+        std::snprintf(label, sizeof label, "%s/%s/window=%zu",
+                      policy.c_str(),
+                      bench::workload_name(which).c_str(), w);
+        sweep.push_back(bench::make_cell(
+            traces.back(), tariff, trace_spec, pricing_spec, policy,
+            bench::make_sim_config(run_opt), label));
       }
     }
   }

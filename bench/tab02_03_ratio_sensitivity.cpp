@@ -41,10 +41,16 @@ int main(int argc, char** argv) {
       traces.push_back(std::make_shared<const trace::Trace>(
           bench::load_workload(which, run_opt)));
       tariffs.push_back(bench::make_tariff(run_opt));
-      for (run::PolicyFactory& factory :
-           bench::standard_policy_factories()) {
-        sweep.push_back({traces.back(), tariffs.back(), std::move(factory),
-                         bench::make_sim_config(run_opt), ""});
+      const run::TraceSpec trace_spec = bench::workload_spec(which, run_opt);
+      const run::PricingSpec pricing_spec = bench::tariff_spec(run_opt);
+      for (const std::string& policy : bench::standard_policy_names()) {
+        char label[64];
+        std::snprintf(label, sizeof label, "%s/%s/power=1:%.0f",
+                      policy.c_str(),
+                      bench::workload_name(which).c_str(), power_ratio);
+        sweep.push_back(bench::make_cell(
+            traces.back(), tariffs.back(), trace_spec, pricing_spec,
+            policy, bench::make_sim_config(run_opt), label));
       }
     }
   }

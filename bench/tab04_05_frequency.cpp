@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
       const auto tariff = bench::make_tariff(run_opt);
       sim::SimConfig config = bench::make_sim_config(run_opt);
       config.max_passes_per_tick = 1;  // CQSim-compatible batch decisions
-      const auto results = bench::run_all_policies(t, *tariff, config, run_opt);
+      const auto results =
+          bench::run_all_policies(which, t, *tariff, config, run_opt);
 
       savings.add_row();
       savings.cell(std::to_string(tick) + "s");

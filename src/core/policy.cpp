@@ -1,7 +1,11 @@
 #include "core/policy.hpp"
 
+#include <memory>
 #include <vector>
 
+#include "core/fcfs_policy.hpp"
+#include "core/greedy_policy.hpp"
+#include "core/knapsack_policy.hpp"
 #include "util/error.hpp"
 
 namespace esched::core {
@@ -16,6 +20,20 @@ void require_permutation(std::span<const std::size_t> order, std::size_t n) {
     ESCHED_REQUIRE(!seen[idx], "policy returned duplicate index");
     seen[idx] = true;
   }
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy_by_name(
+    const std::string& name) {
+  if (name == "fcfs") return std::make_unique<FcfsPolicy>();
+  if (name == "greedy") {
+    return std::make_unique<GreedyPowerPolicy>(GreedyKey::kPowerPerNode);
+  }
+  if (name == "greedy-total") {
+    return std::make_unique<GreedyPowerPolicy>(GreedyKey::kTotalPower);
+  }
+  if (name == "knapsack") return std::make_unique<KnapsackPolicy>();
+  throw Error("unknown policy name \"" + name +
+              "\" (known: fcfs, greedy, greedy-total, knapsack)");
 }
 
 }  // namespace esched::core

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -87,5 +88,14 @@ class SchedulingPolicy {
 /// Validate that `order` is a permutation of [0, n); throws otherwise.
 /// Policies are user-extensible, so the scheduler checks their output.
 void require_permutation(std::span<const std::size_t> order, std::size_t n);
+
+/// Construct one of the built-in policies by name — the registry that lets
+/// a declarative run::PolicySpec cross a process boundary (the worker
+/// rebuilds the policy from its name alone). Known names: "fcfs",
+/// "greedy" (per-node power, the paper's reading), "greedy-total"
+/// (aggregate power ablation), "knapsack". Throws esched::Error listing
+/// the valid names for anything else.
+std::unique_ptr<SchedulingPolicy> make_policy_by_name(
+    const std::string& name);
 
 }  // namespace esched::core

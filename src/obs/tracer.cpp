@@ -103,6 +103,29 @@ void Tracer::end_span(const std::string& name, const char* category) {
   emit_event(name, category, 'E');
 }
 
+void Tracer::complete_span(const std::string& name, const char* category,
+                           std::chrono::steady_clock::time_point begin,
+                           std::chrono::steady_clock::time_point end,
+                           std::uint32_t track) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (begin < epoch_) begin = epoch_;
+  if (end < begin) end = begin;
+  const double ts =
+      std::chrono::duration<double, std::micro>(begin - epoch_).count();
+  const double dur =
+      std::chrono::duration<double, std::micro>(end - begin).count();
+  char ts_buf[64];
+  char dur_buf[64];
+  std::snprintf(ts_buf, sizeof ts_buf, "%.3f", ts);
+  std::snprintf(dur_buf, sizeof dur_buf, "%.3f", dur);
+  chrome_ << (first_event_ ? "" : ",\n") << "{\"name\": \""
+          << json_escape(name) << "\", \"cat\": \"" << category
+          << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << track
+          << ", \"ts\": " << ts_buf << ", \"dur\": " << dur_buf << "}";
+  first_event_ = false;
+}
+
 void Tracer::record_tick(const TickRecord& record) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!enabled_.load(std::memory_order_relaxed)) return;
@@ -123,6 +146,13 @@ void Tracer::record_tick(const TickRecord& record) {
     jsonl_ << (i == 0 ? "" : ", ") << record.dispatched[i];
   }
   jsonl_ << "], \"reason\": \"" << record.reason << "\"}\n";
+  // Crash hygiene: every completed decision record reaches the disk
+  // before the next tick runs, so a process killed mid-simulation (a
+  // SIGKILLed sweep worker, an OOMed bench) leaves a parseable JSONL
+  // prefix and a recoverable Chrome-event prefix instead of a torn line
+  // in a stdio buffer. Tracing is not a hot path by contract.
+  jsonl_.flush();
+  chrome_.flush();
 }
 
 void Tracer::close() {

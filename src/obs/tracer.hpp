@@ -79,7 +79,20 @@ class Tracer {
   /// Emit the matching "E" event.
   void end_span(const std::string& name, const char* category);
 
-  /// Append one line to the decision log.
+  /// Emit a Chrome "X" (complete) event spanning [begin, end] on an
+  /// explicit track id. For durations a supervisor measures on behalf of
+  /// *other processes* (worker lifetimes, task round-trips in
+  /// run/proc.hpp): those overlap freely, so they cannot use the calling
+  /// thread's B/E track, whose events must nest. Times before open() are
+  /// clamped to the trace epoch.
+  void complete_span(const std::string& name, const char* category,
+                     std::chrono::steady_clock::time_point begin,
+                     std::chrono::steady_clock::time_point end,
+                     std::uint32_t track);
+
+  /// Append one line to the decision log. Both sinks are flushed after
+  /// every record (crash hygiene: a worker killed mid-run leaves a valid
+  /// JSONL prefix and a recoverable Chrome-trace prefix on disk).
   void record_tick(const TickRecord& record);
 
   /// Write the Chrome-trace footer and close both sinks; further record

@@ -171,4 +171,15 @@ std::unique_ptr<PricingModel> make_paper_tariff(double ratio) {
   return std::make_unique<OnOffPeakPricing>(0.03, ratio);
 }
 
+std::unique_ptr<PricingModel> make_pricing_by_name(const std::string& name,
+                                                   Money off_peak_price,
+                                                   double ratio) {
+  if (name == "paper" || name == "onoff") {
+    return std::make_unique<OnOffPeakPricing>(off_peak_price, ratio);
+  }
+  if (name == "flat") return std::make_unique<FlatPricing>(off_peak_price);
+  throw Error("unknown pricing name \"" + name +
+              "\" (known: paper, onoff, flat)");
+}
+
 }  // namespace esched::power

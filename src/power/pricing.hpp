@@ -138,4 +138,14 @@ class HourlyPriceSeries final : public PricingModel {
 /// ratio as given (default 3).
 std::unique_ptr<PricingModel> make_paper_tariff(double ratio = 3.0);
 
+/// Construct a tariff by name — the registry that lets a declarative
+/// run::PricingSpec cross a process boundary (a worker rebuilds the model
+/// from name + parameters). Known names: "paper"/"onoff" (OnOffPeakPricing
+/// at `off_peak_price` and `ratio`) and "flat" (FlatPricing at
+/// `off_peak_price`; `ratio` ignored). Throws esched::Error listing the
+/// valid names for anything else.
+std::unique_ptr<PricingModel> make_pricing_by_name(const std::string& name,
+                                                   Money off_peak_price,
+                                                   double ratio);
+
 }  // namespace esched::power

@@ -1,0 +1,90 @@
+#include "run/fault.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace esched::run {
+
+namespace {
+
+/// splitmix64 — tiny, well-mixed, and stable across platforms; the draw
+/// must never depend on libc rand or hardware.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultPlan::Action FaultPlan::decide(std::uint32_t task_id,
+                                    std::uint32_t attempt) const {
+  if (!any()) return Action::kNone;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(task_id) << 32) | attempt;
+  const std::uint64_t h = splitmix64(seed ^ key);
+  // 53 mantissa bits -> uniform in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u < crash) return Action::kCrash;
+  if (u < crash + hang) return Action::kHang;
+  if (u < crash + hang + garbage) return Action::kGarbage;
+  return Action::kNone;
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    const std::size_t colon = token.find(':');
+    ESCHED_REQUIRE(colon != std::string::npos,
+                   "ESCHED_FAULT token \"" + token +
+                       "\" is not key:value");
+    const std::string key = token.substr(0, colon);
+    const std::string value = token.substr(colon + 1);
+    char* end = nullptr;
+    if (key == "seed") {
+      const unsigned long long parsed =
+          std::strtoull(value.c_str(), &end, 10);
+      ESCHED_REQUIRE(end != value.c_str() && *end == '\0',
+                     "ESCHED_FAULT seed \"" + value +
+                         "\" is not an integer");
+      plan.seed = parsed;
+      continue;
+    }
+    const double p = std::strtod(value.c_str(), &end);
+    ESCHED_REQUIRE(end != value.c_str() && *end == '\0',
+                   "ESCHED_FAULT " + key + " value \"" + value +
+                       "\" is not a number");
+    ESCHED_REQUIRE(p >= 0.0 && p <= 1.0,
+                   "ESCHED_FAULT " + key + " probability " + value +
+                       " outside [0, 1]");
+    if (key == "crash") {
+      plan.crash = p;
+    } else if (key == "hang") {
+      plan.hang = p;
+    } else if (key == "garbage") {
+      plan.garbage = p;
+    } else {
+      throw Error("ESCHED_FAULT unknown key \"" + key +
+                  "\" (known: crash, hang, garbage, seed)");
+    }
+  }
+  ESCHED_REQUIRE(plan.crash + plan.hang + plan.garbage <= 1.0,
+                 "ESCHED_FAULT probabilities sum above 1");
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* env = std::getenv("ESCHED_FAULT");
+  if (env == nullptr || *env == '\0') return FaultPlan{};
+  return parse(env);
+}
+
+}  // namespace esched::run

@@ -1,0 +1,56 @@
+// Deterministic fault injection for esched-worker processes.
+//
+// The supervisor's whole robustness story — death detection, timeouts,
+// protocol-corruption handling, retry with backoff — is only trustworthy
+// if every path is exercised in CI, and CI cannot rely on real crashes or
+// flaky sleeps. ESCHED_FAULT makes workers misbehave *on purpose and
+// reproducibly*:
+//
+//   ESCHED_FAULT=crash:0.3,hang:0.1,garbage:0.2,seed:42
+//
+// Each worker draws one deterministic uniform number per (task_id,
+// attempt) pair — not per process — so the same sweep with the same plan
+// always injects the same faults on the same cells, regardless of which
+// worker a cell lands on, and a retried attempt re-rolls (which is what
+// lets a crash-on-first-attempt cell succeed on its second). Probability
+// bands are checked in order crash, hang, garbage.
+//
+//   crash:<p>    raise SIGKILL mid-task (after reading the job frame) —
+//                the "worker killed by SIGKILL" acceptance path
+//   hang:<p>     stop responding (sleep forever) until the supervisor's
+//                task timeout kills the worker
+//   garbage:<p>  complete the task but answer with a CRC-corrupted frame
+//   seed:<s>     seed of the deterministic draw (default 0)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace esched::run {
+
+/// Parsed ESCHED_FAULT plan. Default-constructed = no faults.
+struct FaultPlan {
+  double crash = 0.0;
+  double hang = 0.0;
+  double garbage = 0.0;
+  std::uint64_t seed = 0;
+
+  bool any() const { return crash > 0.0 || hang > 0.0 || garbage > 0.0; }
+
+  enum class Action { kNone, kCrash, kHang, kGarbage };
+
+  /// The (deterministic) fault for one task attempt.
+  Action decide(std::uint32_t task_id, std::uint32_t attempt) const;
+
+  /// Parse "crash:<p>,hang:<p>,garbage:<p>,seed:<s>" (any subset, any
+  /// order). Throws esched::Error naming the offending token on malformed
+  /// input or probabilities outside [0, 1].
+  static FaultPlan parse(const std::string& text);
+
+  /// Plan from the ESCHED_FAULT environment variable (empty/unset = no
+  /// faults). Throws like parse() — a worker with a typo'd plan must die
+  /// loudly, not silently run fault-free.
+  static FaultPlan from_env();
+};
+
+}  // namespace esched::run

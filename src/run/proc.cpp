@@ -1,0 +1,660 @@
+#include "run/proc.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
+#include "run/wire.hpp"
+#include "util/error.hpp"
+
+namespace esched::run {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kNoTask = std::numeric_limits<std::size_t>::max();
+/// Worker-lifetime / task spans go on tracks 1000+slot so they never
+/// collide with the per-thread B/E tracks of the in-process runner.
+constexpr std::uint32_t kTrackBase = 1000;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Pool instrumentation, gated like every other obs site.
+void bump(const char* name) {
+  if (!obs::counters_enabled()) return;
+  obs::Registry::global().counter(name).add();
+}
+
+/// Ignore SIGPIPE for the duration of a run: writing a job to a worker
+/// that just died must surface as EPIPE (a classifiable failure), not
+/// kill the supervisor. Restores the previous disposition on scope exit.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() { previous_ = ::signal(SIGPIPE, SIG_IGN); }
+  ~SigpipeGuard() { ::signal(SIGPIPE, previous_); }
+  SigpipeGuard(const SigpipeGuard&) = delete;
+  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
+
+ private:
+  void (*previous_)(int) = SIG_DFL;
+};
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string exe_directory() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  const std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// One worker subprocess and the supervisor's view of it.
+struct Worker {
+  pid_t pid = -1;
+  int to_child = -1;    ///< supervisor writes kJob frames
+  int from_child = -1;  ///< supervisor reads kResult/kError frames
+  std::vector<std::uint8_t> buf;  ///< partial inbound frame bytes
+  std::size_t task = kNoTask;     ///< in-flight task, kNoTask when idle
+  std::uint32_t attempt = 0;      ///< attempt number of the in-flight task
+  bool has_deadline = false;
+  Clock::time_point deadline{};
+  Clock::time_point dispatched{};
+  Clock::time_point spawned{};
+};
+
+/// Per-task retry bookkeeping.
+struct TaskState {
+  std::uint32_t attempts = 0;  ///< attempts started (dispatched) so far
+  std::vector<std::string> failures;  ///< one line per failed attempt
+  Clock::time_point ready_at{};       ///< backoff gate for redispatch
+  bool queued = false;
+  bool done = false;
+};
+
+/// The single-run supervisor state machine. A throwing path anywhere in
+/// step() leaves workers running; SubprocessPool::run catches, force-kills
+/// and reaps every worker, then rethrows — no zombies, ever.
+class Supervisor {
+ public:
+  Supervisor(const SubprocessPoolConfig& config, std::string worker_path,
+             const std::vector<JobSpec>& sweep, SweepStats& stats,
+             const ProgressCallback& progress, obs::Tracer* tracer)
+      : config_(config),
+        worker_path_(std::move(worker_path)),
+        sweep_(sweep),
+        stats_(stats),
+        progress_(progress),
+        tracer_(tracer) {}
+
+  std::vector<sim::SimResult> run() {
+    const std::size_t n = sweep_.size();
+    results_.resize(n);
+    tasks_.resize(n);
+    payloads_.reserve(n);
+    for (const JobSpec& spec : sweep_) {
+      payloads_.push_back(wire::encode_job(spec));  // throws on bad spec
+    }
+    wall_start_ = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      tasks_[i].ready_at = wall_start_;
+      tasks_[i].queued = true;
+      pending_.push_back(i);
+    }
+
+    const std::size_t worker_count = std::max<std::size_t>(
+        1, std::min(config_.workers != 0 ? config_.workers
+                                         : SweepRunner::default_jobs(),
+                    n));
+    stats_.threads = worker_count;
+    stats_.worker_busy_seconds.assign(worker_count, 0.0);
+    workers_.resize(worker_count);
+    for (std::size_t slot = 0; slot < worker_count; ++slot) {
+      spawn(slot);
+    }
+
+    while (done_ < n) step();
+
+    shutdown(/*force=*/false);
+    stats_.wall_seconds = seconds_since(wall_start_);
+    finalize_task_stats();
+    std::vector<sim::SimResult> out;
+    out.reserve(n);
+    for (sim::SimResult& r : results_) out.push_back(std::move(r));
+    return out;
+  }
+
+  /// Kill and reap every still-live worker. Idempotent; never throws.
+  void shutdown(bool force) noexcept {
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      Worker& w = workers_[slot];
+      if (w.pid < 0) continue;
+      if (force) {
+        ::kill(w.pid, SIGKILL);
+      } else if (w.to_child >= 0) {
+        // Graceful: EOF on stdin is the worker's shutdown signal.
+        ::close(w.to_child);
+        w.to_child = -1;
+      }
+      reap(slot);
+    }
+  }
+
+ private:
+  // ---- lifecycle ------------------------------------------------------
+
+  void spawn(std::size_t slot) {
+    Worker& w = workers_[slot];
+    // CLOEXEC on every end: a sibling worker forked later must not
+    // inherit this worker's pipes, or its death would never read as EOF.
+    const auto cloexec_pipe = [](int fds[2]) {
+      if (::pipe(fds) != 0) return false;
+      ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+      ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+      return true;
+    };
+    int to_child[2];
+    int from_child[2];
+    ESCHED_REQUIRE(cloexec_pipe(to_child),
+                   "SubprocessPool: pipe failed: " +
+                       std::string(std::strerror(errno)));
+    if (!cloexec_pipe(from_child)) {
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      throw Error("SubprocessPool: pipe failed: " +
+                  std::string(std::strerror(errno)));
+    }
+    const pid_t pid = ::fork();
+    ESCHED_REQUIRE(pid >= 0, "SubprocessPool: fork failed: " +
+                                 std::string(std::strerror(errno)));
+    if (pid == 0) {
+      // Child. dup2 clears O_CLOEXEC on the duplicated fds — exactly the
+      // two ends the worker must keep.
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      char* argv[] = {const_cast<char*>(worker_path_.c_str()), nullptr};
+      ::execv(worker_path_.c_str(), argv);
+      ::_exit(127);  // the supervisor maps 127 to "exec failed"
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    w.pid = pid;
+    w.to_child = to_child[1];
+    w.from_child = from_child[0];
+    w.buf.clear();
+    w.task = kNoTask;
+    w.has_deadline = false;
+    w.spawned = Clock::now();
+    bump("pool.spawns");
+  }
+
+  /// waitpid + close fds + emit the worker-lifetime span. Returns a
+  /// human-readable death description ("exited with status 0", "killed
+  /// by signal 9").
+  std::string reap(std::size_t slot) noexcept {
+    Worker& w = workers_[slot];
+    if (w.pid < 0) return "already reaped";
+    exit_status_ = -1;
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(w.pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    if (w.to_child >= 0) ::close(w.to_child);
+    if (w.from_child >= 0) ::close(w.from_child);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->complete_span("worker:" + std::to_string(slot) + " pid " +
+                                 std::to_string(w.pid),
+                             "pool", w.spawned, Clock::now(),
+                             kTrackBase + static_cast<std::uint32_t>(slot));
+    }
+    const pid_t pid = w.pid;
+    w.pid = -1;
+    w.to_child = -1;
+    w.from_child = -1;
+    w.buf.clear();
+    if (r != pid) return "waitpid failed";
+    if (WIFSIGNALED(status)) {
+      return "killed by signal " + std::to_string(WTERMSIG(status));
+    }
+    if (WIFEXITED(status)) {
+      exit_status_ = WEXITSTATUS(status);
+      return "exited with status " + std::to_string(exit_status_);
+    }
+    return "ended with wait status " + std::to_string(status);
+  }
+
+  // ---- dispatch -------------------------------------------------------
+
+  void assign_ready(Clock::time_point now) {
+    for (std::size_t slot = 0;
+         slot < workers_.size() && !pending_.empty(); ++slot) {
+      Worker& w = workers_[slot];
+      if (w.pid < 0 || w.task != kNoTask) continue;
+      // First pending task whose backoff has elapsed, in requeue order.
+      std::size_t pick = pending_.size();
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (tasks_[pending_[i]].ready_at <= now) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == pending_.size()) return;  // all gated on backoff
+      const std::size_t task = pending_[pick];
+      pending_.erase(pending_.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+      tasks_[task].queued = false;
+      dispatch(slot, task);
+    }
+  }
+
+  void dispatch(std::size_t slot, std::size_t task) {
+    Worker& w = workers_[slot];
+    TaskState& t = tasks_[task];
+    w.task = task;
+    w.attempt = t.attempts;
+    ++t.attempts;
+    w.dispatched = Clock::now();
+    w.has_deadline = config_.task_timeout_seconds > 0.0;
+    if (w.has_deadline) {
+      w.deadline =
+          w.dispatched + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 config_.task_timeout_seconds));
+    }
+    const std::vector<std::uint8_t> frame =
+        wire::encode_frame(wire::FrameType::kJob,
+                           static_cast<std::uint32_t>(task), w.attempt,
+                           payloads_[task]);
+    if (!write_all(w.to_child, frame.data(), frame.size())) {
+      // The worker died before accepting the job (EPIPE): same handling
+      // as a death mid-task, which also classifies exec failures.
+      fail_attempt(slot, "died before accepting the job (" +
+                             describe_death(slot) + ")");
+    }
+  }
+
+  // ---- failure handling -----------------------------------------------
+
+  /// SIGKILL (if still alive) + reap, returning the death description.
+  std::string describe_death(std::size_t slot) {
+    Worker& w = workers_[slot];
+    if (w.pid >= 0) ::kill(w.pid, SIGKILL);
+    return reap(slot);
+  }
+
+  /// An attempt on `slot`'s in-flight task failed for `reason`: record
+  /// it, enforce the attempt budget, requeue with backoff, respawn the
+  /// worker. Throws esched::Error when the budget is exhausted or the
+  /// worker binary cannot exec.
+  void fail_attempt(std::size_t slot, const std::string& reason) {
+    Worker& w = workers_[slot];
+    const std::size_t task = w.task;
+    w.task = kNoTask;
+    w.has_deadline = false;
+    if (exit_status_ == 127) {
+      throw Error("SubprocessPool: cannot execute worker binary \"" +
+                  worker_path_ +
+                  "\" (exit 127 from exec); set ESCHED_WORKER or build "
+                  "the esched-worker target");
+    }
+    bump("pool.worker_deaths");
+    TaskState& t = tasks_[task];
+    t.failures.push_back("attempt " + std::to_string(t.attempts) + ": " +
+                         reason);
+    if (t.attempts >= config_.max_attempts) {
+      throw Error("sweep cell \"" + sweep_[task].label + "\" (task " +
+                  std::to_string(task) + ") failed after " +
+                  std::to_string(t.attempts) + " attempt(s): " +
+                  join_failures(t.failures));
+    }
+    bump("pool.retries");
+    const double backoff =
+        std::min(config_.backoff_max_seconds,
+                 config_.backoff_initial_seconds *
+                     std::ldexp(1.0, static_cast<int>(t.attempts) - 1));
+    t.ready_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(backoff));
+    t.queued = true;
+    pending_.push_back(task);
+    spawn(slot);
+    bump("pool.respawns");
+  }
+
+  static std::string join_failures(const std::vector<std::string>& lines) {
+    std::string out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      out += (i == 0 ? "[" : "; [") + lines[i] + "]";
+    }
+    return out;
+  }
+
+  // ---- the poll loop --------------------------------------------------
+
+  void step() {
+    Clock::time_point now = Clock::now();
+    assign_ready(now);
+
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> slots;
+    fds.reserve(workers_.size());
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      if (workers_[slot].pid < 0) continue;
+      fds.push_back({workers_[slot].from_child, POLLIN, 0});
+      slots.push_back(slot);
+    }
+    ESCHED_REQUIRE(!fds.empty(), "SubprocessPool: no live workers");
+
+    const int timeout_ms = next_timeout_ms(now);
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      throw Error("SubprocessPool: poll failed: " +
+                  std::string(std::strerror(errno)));
+    }
+    now = Clock::now();
+    if (rc > 0) {
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        on_readable(slots[i]);
+        if (done_ >= sweep_.size()) return;
+      }
+    }
+    // Deadlines, after any answers that beat the clock were consumed.
+    now = Clock::now();
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      Worker& w = workers_[slot];
+      if (w.pid < 0 || w.task == kNoTask || !w.has_deadline) continue;
+      if (w.deadline > now) continue;
+      bump("pool.timeouts");
+      const std::string death = describe_death(slot);
+      fail_attempt(slot, "timed out after " +
+                             format_seconds(config_.task_timeout_seconds) +
+                             "s (" + death + ")");
+    }
+  }
+
+  /// Nearest of every worker deadline and every backoff ready-time, as a
+  /// poll timeout; -1 (wait forever) when neither applies.
+  int next_timeout_ms(Clock::time_point now) const {
+    bool have = false;
+    Clock::time_point nearest{};
+    const auto consider = [&](Clock::time_point tp) {
+      if (!have || tp < nearest) {
+        nearest = tp;
+        have = true;
+      }
+    };
+    for (const Worker& w : workers_) {
+      if (w.pid >= 0 && w.task != kNoTask && w.has_deadline) {
+        consider(w.deadline);
+      }
+    }
+    for (const std::size_t task : pending_) {
+      consider(tasks_[task].ready_at);
+    }
+    if (!have) return -1;
+    const double sec =
+        std::chrono::duration<double>(nearest - now).count();
+    if (sec <= 0.0) return 0;
+    const double ms = std::ceil(sec * 1000.0);
+    return ms > 60000.0 ? 60000 : static_cast<int>(ms);
+  }
+
+  void on_readable(std::size_t slot) {
+    Worker& w = workers_[slot];
+    std::uint8_t chunk[65536];
+    const ssize_t n = ::read(w.from_child, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) return;
+      on_worker_gone(slot, "read failed: " +
+                               std::string(std::strerror(errno)));
+      return;
+    }
+    if (n == 0) {
+      on_worker_gone(slot, w.buf.empty() ? "" : "mid-frame");
+      return;
+    }
+    w.buf.insert(w.buf.end(), chunk, chunk + n);
+    process_frames(slot);
+  }
+
+  /// EOF (or read error) on a worker pipe: classify the death and either
+  /// requeue its in-flight task or, for an idle worker, just respawn.
+  void on_worker_gone(std::size_t slot, const std::string& detail) {
+    Worker& w = workers_[slot];
+    const bool had_task = w.task != kNoTask;
+    std::string death = reap(slot);
+    if (!detail.empty()) death += ", " + detail;
+    if (exit_status_ == 127) {
+      throw Error("SubprocessPool: cannot execute worker binary \"" +
+                  worker_path_ +
+                  "\" (exit 127 from exec); set ESCHED_WORKER or build "
+                  "the esched-worker target");
+    }
+    if (had_task) {
+      fail_attempt(slot, "worker " + death + " before answering");
+    } else if (done_ < sweep_.size()) {
+      bump("pool.worker_deaths");
+      spawn(slot);
+      bump("pool.respawns");
+    }
+  }
+
+  void on_corrupt(std::size_t slot, const std::string& what) {
+    bump("pool.corrupt_frames");
+    const std::string death = describe_death(slot);
+    Worker& w = workers_[slot];
+    if (w.task == kNoTask) {
+      // Garbage from an idle worker: nothing to requeue, just replace it.
+      bump("pool.worker_deaths");
+      spawn(slot);
+      bump("pool.respawns");
+      return;
+    }
+    fail_attempt(slot, "protocol corruption (" + what + "; worker " +
+                           death + ")");
+  }
+
+  void process_frames(std::size_t slot) {
+    Worker& w = workers_[slot];
+    while (w.pid >= 0) {
+      if (w.buf.size() < wire::kHeaderSize) return;
+      wire::FrameHeader header;
+      try {
+        header = wire::decode_header(w.buf.data());
+      } catch (const Error& e) {
+        on_corrupt(slot, e.what());
+        return;
+      }
+      const std::size_t frame_size = wire::kHeaderSize + header.payload_size;
+      if (w.buf.size() < frame_size) return;
+      const std::uint8_t* payload = w.buf.data() + wire::kHeaderSize;
+      if (!wire::verify_payload(header, payload)) {
+        on_corrupt(slot, "payload CRC mismatch");
+        return;
+      }
+      if (w.task == kNoTask ||
+          header.task_id != static_cast<std::uint32_t>(w.task) ||
+          header.attempt != w.attempt) {
+        on_corrupt(slot, "answer for a task this worker does not hold");
+        return;
+      }
+      const std::vector<std::uint8_t> body(payload,
+                                           payload + header.payload_size);
+      w.buf.erase(w.buf.begin(),
+                  w.buf.begin() + static_cast<std::ptrdiff_t>(frame_size));
+      if (header.type == wire::FrameType::kError) {
+        std::string message;
+        try {
+          message = wire::decode_error(body);
+        } catch (const Error&) {
+          message = "(undecodable error payload)";
+        }
+        // Deterministic failure: retrying reruns the same deterministic
+        // simulation, so fail the sweep fast with the worker's message.
+        throw Error("sweep cell \"" + sweep_[w.task].label + "\" (task " +
+                    std::to_string(w.task) + ") failed: " + message);
+      }
+      sim::SimResult result;
+      try {
+        ESCHED_REQUIRE(header.type == wire::FrameType::kResult,
+                       "unexpected frame type");
+        result = wire::decode_result(body);
+      } catch (const Error& e) {
+        on_corrupt(slot, e.what());
+        return;
+      }
+      complete(slot, std::move(result));
+    }
+  }
+
+  void complete(std::size_t slot, sim::SimResult result) {
+    Worker& w = workers_[slot];
+    const std::size_t task = w.task;
+    const double seconds = seconds_since(w.dispatched);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->complete_span(
+          "task:" +
+              (sweep_[task].label.empty() ? std::to_string(task)
+                                          : sweep_[task].label) +
+              "#" + std::to_string(w.attempt),
+          "pool", w.dispatched, Clock::now(),
+          kTrackBase + static_cast<std::uint32_t>(slot));
+    }
+    w.task = kNoTask;
+    w.has_deadline = false;
+    results_[task] = std::move(result);
+    tasks_[task].done = true;
+    task_seconds_.push_back(seconds);
+    stats_.worker_busy_seconds[slot] += seconds;
+    ++done_;
+    if (progress_) {
+      SweepProgress p;
+      p.done = done_;
+      p.total = sweep_.size();
+      p.elapsed_seconds = seconds_since(wall_start_);
+      p.eta_seconds = p.elapsed_seconds / static_cast<double>(done_) *
+                      static_cast<double>(sweep_.size() - done_);
+      progress_(p);
+    }
+  }
+
+  void finalize_task_stats() {
+    stats_.tasks = sweep_.size();
+    if (task_seconds_.empty()) return;
+    stats_.task_min_seconds = task_seconds_.front();
+    stats_.task_max_seconds = task_seconds_.front();
+    for (const double s : task_seconds_) {
+      stats_.cpu_seconds += s;
+      stats_.task_min_seconds = std::min(stats_.task_min_seconds, s);
+      stats_.task_max_seconds = std::max(stats_.task_max_seconds, s);
+    }
+    stats_.task_mean_seconds =
+        stats_.cpu_seconds / static_cast<double>(task_seconds_.size());
+  }
+
+  static std::string format_seconds(double s) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", s);
+    return buf;
+  }
+
+  const SubprocessPoolConfig& config_;
+  const std::string worker_path_;
+  const std::vector<JobSpec>& sweep_;
+  SweepStats& stats_;
+  const ProgressCallback& progress_;
+  obs::Tracer* tracer_;
+
+  std::vector<Worker> workers_;
+  std::vector<TaskState> tasks_;
+  std::vector<std::vector<std::uint8_t>> payloads_;
+  std::vector<std::size_t> pending_;
+  std::vector<sim::SimResult> results_;
+  std::vector<double> task_seconds_;
+  std::size_t done_ = 0;
+  int exit_status_ = -1;  ///< last reaped worker's exit status (or -1)
+  Clock::time_point wall_start_{};
+};
+
+}  // namespace
+
+SubprocessPool::SubprocessPool(SubprocessPoolConfig config)
+    : config_(std::move(config)) {
+  ESCHED_REQUIRE(config_.max_attempts >= 1,
+                 "SubprocessPool: max_attempts must be >= 1");
+}
+
+std::string SubprocessPool::find_worker() {
+  if (const char* env = std::getenv("ESCHED_WORKER")) {
+    if (*env != '\0' && ::access(env, X_OK) == 0) return env;
+    return {};
+  }
+  const std::string dir = exe_directory();
+  if (dir.empty()) return {};
+  for (const char* rel : {"/esched-worker", "/../esched-worker"}) {
+    const std::string candidate = dir + rel;
+    if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+  }
+  return {};
+}
+
+bool SubprocessPool::available() { return !find_worker().empty(); }
+
+std::vector<sim::SimResult> SubprocessPool::run(
+    const std::vector<JobSpec>& sweep) {
+  stats_ = SweepStats{};
+  stats_.tasks = sweep.size();
+  if (sweep.empty()) return {};
+  std::string worker = config_.worker_path;
+  if (worker.empty()) worker = find_worker();
+  ESCHED_REQUIRE(!worker.empty(),
+                 "SubprocessPool: esched-worker binary not found (set "
+                 "ESCHED_WORKER or pass SubprocessPoolConfig::worker_path)");
+
+  SigpipeGuard sigpipe;
+  Supervisor supervisor(config_, std::move(worker), sweep, stats_,
+                        progress_, tracer_);
+  try {
+    return supervisor.run();
+  } catch (...) {
+    // Any failure — budget exhaustion, deterministic kError, a throwing
+    // progress callback — settles the pool before propagating: every
+    // worker killed and reaped, no zombies, no half-read pipes.
+    supervisor.shutdown(/*force=*/true);
+    throw;
+  }
+}
+
+}  // namespace esched::run

@@ -1,0 +1,117 @@
+// Multi-process sweep execution: a pool of esched-worker subprocesses
+// driven over pipes by a single-threaded poll() supervisor.
+//
+// Why processes when run/sweep.hpp already has threads: isolation. A
+// worker that segfaults, leaks until the OOM killer arrives, or wedges in
+// a pathological cell takes down *one task attempt*, not the whole sweep.
+// The supervisor owns the full failure model:
+//
+//  * Worker death — signal, nonzero exit, or EOF/short read mid-frame —
+//    is detected from the pipe, classified via waitpid, and the in-flight
+//    task is requeued onto a freshly spawned worker.
+//  * Protocol corruption — bad magic/version/length or a payload CRC
+//    mismatch (run/wire.hpp) — is treated like a death: the worker can no
+//    longer be trusted, so it is killed and replaced.
+//  * Hangs — a per-task wall-clock timeout (SubprocessPoolConfig::
+//    task_timeout_seconds) after which the worker is SIGKILLed and the
+//    task requeued.
+//  * Retries use capped exponential backoff and a per-task attempt
+//    budget; exhausting the budget raises esched::Error naming the cell
+//    and every failed attempt. A kError frame (deterministic failure:
+//    bad spec, invalid trace) fails fast instead — retrying a
+//    deterministic failure can only fail the same way again.
+//
+// Determinism: workers rebuild each cell from its declarative JobSpec
+// (run/spec.hpp), every builder is deterministic in the spec, and results
+// are returned in submission order — so a multi-process sweep is
+// bit-identical (results_identical) to the in-process 1-thread reference,
+// including under injected faults (run/fault.hpp), because a retried
+// attempt reruns the same deterministic simulation.
+//
+// The supervisor itself is single-threaded: one poll() loop multiplexes
+// every worker pipe, timeout deadline and retry ready-time. No locks, no
+// signal handlers (SIGPIPE is ignored for the duration of run()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "run/spec.hpp"
+#include "run/sweep.hpp"
+#include "sim/result.hpp"
+
+namespace esched::obs {
+class Tracer;
+}  // namespace esched::obs
+
+namespace esched::run {
+
+/// Supervisor knobs. The defaults match the bench CLI defaults
+/// (bench/common.cpp) so drivers and tests agree on behaviour.
+struct SubprocessPoolConfig {
+  /// Worker process count; 0 = SweepRunner::default_jobs() (ESCHED_JOBS
+  /// or hardware concurrency), capped at the task count.
+  std::size_t workers = 0;
+  /// Per-task wall-clock timeout in seconds; expiry SIGKILLs the worker
+  /// and requeues the task. 0 disables the timeout.
+  double task_timeout_seconds = 0.0;
+  /// Attempt budget per task (first run + retries). Must be >= 1.
+  std::uint32_t max_attempts = 3;
+  /// Backoff before retry k (1-based) is
+  /// min(backoff_max_seconds, backoff_initial_seconds * 2^(k-1)).
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  /// esched-worker binary; empty = find_worker().
+  std::string worker_path;
+};
+
+/// The multi-process twin of SweepRunner. One instance may run() multiple
+/// sweeps; workers are spawned per run and reaped before run returns.
+class SubprocessPool {
+ public:
+  explicit SubprocessPool(SubprocessPoolConfig config = {});
+
+  /// Locate the esched-worker binary: the ESCHED_WORKER environment
+  /// variable if set, else next to this executable, else one directory
+  /// up (the build-tree layout). Returns "" when none is executable.
+  static std::string find_worker();
+
+  /// True when multi-process execution can work here: find_worker()
+  /// succeeds (fork/pipe are assumed on any platform this builds on).
+  static bool available();
+
+  /// Execute every spec; results in submission order, bit-identical to
+  /// the in-process reference. Throws esched::Error when a cell
+  /// exhausts its attempt budget (naming the cell and each failure),
+  /// when a worker reports a deterministic kError, or when the worker
+  /// binary cannot be spawned. All workers are reaped before any throw.
+  std::vector<sim::SimResult> run(const std::vector<JobSpec>& sweep);
+
+  /// Counters from the most recent run(). cpu_seconds and the per-task
+  /// durations measure supervisor-observed round-trip times (dispatch to
+  /// answer) of *successful* attempts.
+  const SweepStats& last_stats() const { return stats_; }
+
+  /// Same contract as SweepRunner::set_progress. Calls arrive on the
+  /// supervising thread; a throwing callback settles the pool (workers
+  /// reaped) before the exception propagates.
+  void set_progress(ProgressCallback callback) {
+    progress_ = std::move(callback);
+  }
+
+  /// Optional tracer: worker lifetimes and task round-trips are emitted
+  /// as Chrome "X" complete spans on per-worker tracks (1000 + slot).
+  /// Non-owning; must outlive run().
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  const SubprocessPoolConfig& config() const { return config_; }
+
+ private:
+  SubprocessPoolConfig config_;
+  SweepStats stats_;
+  ProgressCallback progress_;
+  obs::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace esched::run

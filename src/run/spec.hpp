@@ -1,0 +1,99 @@
+// Declarative sweep-cell specifications.
+//
+// The in-process SweepRunner hands tasks around as pointers and closures
+// (run/sweep.hpp) — fine inside one address space, useless across a
+// process boundary. A JobSpec is the declarative twin of a SimJob: the
+// trace is named (workload generator + months + seed, or an SWF path),
+// the tariff and policy are named with their parameters, and the
+// SimConfig travels by value. Everything a spec references is
+// *constructible by name* in its home layer (trace::make_workload_by_name,
+// power::make_pricing_by_name, core::make_policy_by_name), and every
+// constructor involved is deterministic in the spec's fields — which is
+// what makes the multi-process sweep (run/proc.hpp) bit-identical to the
+// in-process one: a worker that rebuilds the cell from the spec reproduces
+// the parent's inputs exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/policy.hpp"
+#include "power/pricing.hpp"
+#include "sim/result.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace esched::run {
+
+/// How to (re)construct a workload trace, mirroring the bench loader's
+/// semantics (bench::load_workload delegates to build_trace, so the two
+/// can never drift apart).
+struct TraceSpec {
+  /// "sdsc-blue" | "anl-bgp" | "mira" (synthetic generators), or "swf".
+  std::string source = "sdsc-blue";
+  /// Trace file path when source == "swf".
+  std::string swf_path;
+  /// Trace length in 30-day months (synthetic sources).
+  std::uint64_t months = 5;
+  /// Generator seed; 0 selects the workload's canonical seed.
+  std::uint64_t seed = 0;
+  /// Power-profile max/min ratio used when profiles are (re)assigned.
+  double power_ratio = 3.0;
+  /// Rescale even when the trace carries real profiles (the explicit
+  /// --power-ratio semantics); otherwise real profiles are kept.
+  bool force_power_ratio = false;
+  /// Seed for synthetic profile assignment; 0 selects the canonical one.
+  std::uint64_t power_seed = 0;
+
+  bool operator==(const TraceSpec&) const = default;
+};
+
+/// How to (re)construct a tariff (power::make_pricing_by_name).
+struct PricingSpec {
+  std::string model = "paper";  ///< "paper" | "onoff" | "flat"
+  Money off_peak_price = 0.03;
+  double ratio = 3.0;
+
+  bool operator==(const PricingSpec&) const = default;
+};
+
+/// How to (re)construct a policy (core::make_policy_by_name).
+struct PolicySpec {
+  std::string name = "fcfs";
+
+  bool operator==(const PolicySpec&) const = default;
+};
+
+/// One fully declarative sweep cell — what the wire codec (run/wire.hpp)
+/// ships to an esched-worker process. `config.tracer` does not cross the
+/// wire (tracing never changes results); a non-null
+/// `config.facility_model` makes the spec non-serializable (the wire
+/// codec rejects it), so facility sweeps stay in-process.
+struct JobSpec {
+  TraceSpec trace;
+  PricingSpec pricing;
+  PolicySpec policy;
+  sim::SimConfig config;
+  std::string label;
+};
+
+/// Build the trace a spec names, including its power-profile handling:
+/// profiles are assigned (synthetic draw) when the trace carries none,
+/// kept when it does, and rescaled when `force_power_ratio` asks for it.
+/// Deterministic in the spec.
+trace::Trace build_trace(const TraceSpec& spec);
+
+/// Build the tariff a spec names.
+std::unique_ptr<power::PricingModel> build_pricing(const PricingSpec& spec);
+
+/// Build the policy a spec names (fresh instance; policies are stateful).
+std::unique_ptr<core::SchedulingPolicy> build_policy(const PolicySpec& spec);
+
+/// Rebuild everything a spec names and run the simulation — the worker
+/// process's entire job. The returned result is bit-identical to running
+/// the same cell in-process (results_identical), because every builder is
+/// deterministic in the spec.
+sim::SimResult execute_job_spec(const JobSpec& spec);
+
+}  // namespace esched::run

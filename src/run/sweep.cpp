@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <future>
 #include <mutex>
 #include <string>
@@ -125,13 +126,26 @@ std::vector<sim::SimResult> SweepRunner::run(
     return out;
   };
 
+  // Settle-all-then-propagate: every submitted task runs to completion
+  // (or to its own exception) before the first exception — whether it
+  // came from the task itself or from a throwing progress callback — is
+  // rethrown in submission order. Abandoning in-flight tasks on the
+  // first failure would leave the pool half-drained and make "which
+  // cells actually ran" depend on scheduling; settling first keeps
+  // failure behaviour deterministic and deadlock-free.
+  std::exception_ptr first_error;
   std::vector<TaskOutcome> outcomes;
   outcomes.reserve(sweep.size());
   if (workers == 1) {
     // Inline serial execution: the reference the determinism test holds
     // the threaded path to, and free of pool overhead for --jobs 1.
     for (std::size_t i = 0; i < sweep.size(); ++i) {
-      outcomes.push_back(run_task(sweep[i], i));
+      try {
+        outcomes.push_back(run_task(sweep[i], i));
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+        outcomes.emplace_back();
+      }
     }
   } else {
     ThreadPool pool(workers);
@@ -142,11 +156,16 @@ std::vector<sim::SimResult> SweepRunner::run(
       futures.push_back(
           pool.submit([&run_task, &job, i] { return run_task(job, i); }));
     }
-    // Collect in submission order; future::get rethrows task exceptions,
-    // so the first failing cell (in submission order) surfaces after the
-    // pool settles — later cells still ran, which keeps shutdown simple.
+    // Collect in submission order; future::get rethrows task exceptions.
+    // Every future is drained even after a failure so the pool is fully
+    // settled before the first exception surfaces.
     for (std::future<TaskOutcome>& f : futures) {
-      outcomes.push_back(f.get());
+      try {
+        outcomes.push_back(f.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+        outcomes.emplace_back();
+      }
     }
   }
 
@@ -167,6 +186,7 @@ std::vector<sim::SimResult> SweepRunner::run(
     stats_.task_mean_seconds =
         stats_.cpu_seconds / static_cast<double>(outcomes.size());
   }
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

@@ -33,6 +33,8 @@ class Tracer;
 
 namespace esched::run {
 
+struct JobSpec;  // run/spec.hpp
+
 /// Constructs a fresh policy instance for one task.
 using PolicyFactory =
     std::function<std::unique_ptr<core::SchedulingPolicy>()>;
@@ -40,12 +42,19 @@ using PolicyFactory =
 /// One cell of a sweep: everything sim::simulate needs, plus a label for
 /// reports. `trace` and `pricing` are shared read-only and must be
 /// non-null; `make_policy` is invoked once, on the worker thread.
+///
+/// `spec` is the optional declarative twin of the cell (run/spec.hpp):
+/// when every cell of a sweep carries one, bench::run_sweep can hand the
+/// sweep to the multi-process SubprocessPool instead of the in-process
+/// runner. The pointer members stay authoritative in-process; the spec is
+/// only consulted to rebuild the cell across a process boundary.
 struct SimJob {
   std::shared_ptr<const trace::Trace> trace;
   std::shared_ptr<const power::PricingModel> pricing;
   PolicyFactory make_policy;
   sim::SimConfig config;
   std::string label;
+  std::shared_ptr<const JobSpec> spec;
 };
 
 /// Counters from the last SweepRunner::run() — the measurable half of the
@@ -98,8 +107,13 @@ class SweepRunner {
 
   std::size_t jobs() const { return jobs_; }
 
-  /// Execute every cell; results in submission order. Throws (after all
-  /// tasks settle) the first task exception in submission order.
+  /// Execute every cell; results in submission order. Exceptions — from
+  /// a task or from the progress callback — never abandon in-flight
+  /// work: every submitted task still settles (runs to completion or to
+  /// its own exception), and only then is the first exception in
+  /// submission order rethrown. A throwing ProgressCallback therefore
+  /// cannot deadlock the pool or leak half-finished tasks
+  /// (sweep_runner_test pins both contracts).
   std::vector<sim::SimResult> run(const std::vector<SimJob>& sweep);
 
   /// Counters from the most recent run().

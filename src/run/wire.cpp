@@ -1,0 +1,342 @@
+#include "run/wire.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace esched::run::wire {
+
+namespace {
+
+/// CRC-32 lookup table for the IEEE 802.3 (reflected 0xEDB88320)
+/// polynomial, built once at first use.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_le(std::vector<std::uint8_t>& buf, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_le(const std::uint8_t* p, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+[[noreturn]] void wire_error(const std::string& what) {
+  throw Error("wire: " + what);
+}
+
+// SimConfig fields that cross the wire, in encode order. The two pointer
+// members (facility_model, tracer) deliberately do not.
+void encode_config(ByteWriter& w, const sim::SimConfig& config) {
+  w.i64(config.tick_interval);
+  w.u64(config.scheduler.window_size);
+  w.u8(config.scheduler.backfill_beyond_window ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(config.scheduler.backfill_mode));
+  w.u64(config.scheduler.conservative_depth);
+  w.i64(config.scheduler.starvation_age);
+  w.f64(config.idle_watts_per_node);
+  w.u8(config.contiguous_allocation ? 1 : 0);
+  w.u8(config.honor_queue_priority ? 1 : 0);
+  w.u8(config.honor_dependencies ? 1 : 0);
+  w.u64(config.max_passes_per_tick);
+  w.u8(config.record_daily_curves ? 1 : 0);
+  w.u64(config.daily_curve_bins);
+}
+
+sim::SimConfig decode_config(ByteReader& r) {
+  sim::SimConfig config;
+  config.tick_interval = r.i64();
+  config.scheduler.window_size = static_cast<std::size_t>(r.u64());
+  config.scheduler.backfill_beyond_window = r.u8() != 0;
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(core::BackfillMode::kConservative)) {
+    wire_error("bad backfill mode " + std::to_string(mode));
+  }
+  config.scheduler.backfill_mode = static_cast<core::BackfillMode>(mode);
+  config.scheduler.conservative_depth = static_cast<std::size_t>(r.u64());
+  config.scheduler.starvation_age = r.i64();
+  config.idle_watts_per_node = r.f64();
+  config.contiguous_allocation = r.u8() != 0;
+  config.honor_queue_priority = r.u8() != 0;
+  config.honor_dependencies = r.u8() != 0;
+  config.max_passes_per_tick = static_cast<std::size_t>(r.u64());
+  config.record_daily_curves = r.u8() != 0;
+  config.daily_curve_bins = static_cast<std::size_t>(r.u64());
+  return config;
+}
+
+void encode_f64_vector(ByteWriter& w, const std::vector<double>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const double x : v) w.f64(x);
+}
+
+std::vector<double> decode_f64_vector(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  if (static_cast<std::size_t>(n) * 8 > r.remaining()) {
+    wire_error("vector length " + std::to_string(n) +
+               " exceeds remaining payload");
+  }
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.f64());
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::u32(std::uint32_t v) { put_le(buf_, v, 4); }
+void ByteWriter::u64(std::uint64_t v) { put_le(buf_, v, 8); }
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::uint8_t ByteReader::u8() {
+  if (pos_ + 1 > size_) wire_error("truncated payload (u8)");
+  return data_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  if (pos_ + 4 > size_) wire_error("truncated payload (u32)");
+  const std::uint32_t v =
+      static_cast<std::uint32_t>(get_le(data_ + pos_, 4));
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (pos_ + 8 > size_) wire_error("truncated payload (u64)");
+  const std::uint64_t v = get_le(data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  if (pos_ + n > size_) wire_error("truncated payload (string)");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void ByteReader::expect_end() const {
+  if (pos_ != size_) {
+    wire_error(std::to_string(size_ - pos_) +
+               " trailing bytes after payload");
+  }
+}
+
+std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::uint32_t task_id, std::uint32_t attempt,
+    const std::vector<std::uint8_t>& payload) {
+  ESCHED_REQUIRE(payload.size() <= kMaxPayload, "wire: payload too large");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderSize + payload.size());
+  put_le(frame, kMagic, 4);
+  put_le(frame, kVersion, 2);
+  frame.push_back(static_cast<std::uint8_t>(type));
+  frame.push_back(0);  // reserved
+  put_le(frame, task_id, 4);
+  put_le(frame, attempt, 4);
+  put_le(frame, static_cast<std::uint32_t>(payload.size()), 4);
+  put_le(frame, crc32(payload.data(), payload.size()), 4);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+FrameHeader decode_header(const std::uint8_t* bytes) {
+  const auto magic = static_cast<std::uint32_t>(get_le(bytes, 4));
+  if (magic != kMagic) {
+    wire_error("bad magic 0x" + std::to_string(magic));
+  }
+  const auto version = static_cast<std::uint16_t>(get_le(bytes + 4, 2));
+  if (version != kVersion) {
+    wire_error("unsupported protocol version " + std::to_string(version));
+  }
+  const std::uint8_t type = bytes[6];
+  if (type < static_cast<std::uint8_t>(FrameType::kJob) ||
+      type > static_cast<std::uint8_t>(FrameType::kError)) {
+    wire_error("unknown frame type " + std::to_string(type));
+  }
+  if (bytes[7] != 0) wire_error("nonzero reserved byte");
+  FrameHeader header;
+  header.type = static_cast<FrameType>(type);
+  header.task_id = static_cast<std::uint32_t>(get_le(bytes + 8, 4));
+  header.attempt = static_cast<std::uint32_t>(get_le(bytes + 12, 4));
+  header.payload_size = static_cast<std::uint32_t>(get_le(bytes + 16, 4));
+  header.payload_crc = static_cast<std::uint32_t>(get_le(bytes + 20, 4));
+  if (header.payload_size > kMaxPayload) {
+    wire_error("payload size " + std::to_string(header.payload_size) +
+               " exceeds limit");
+  }
+  return header;
+}
+
+bool verify_payload(const FrameHeader& header, const std::uint8_t* payload) {
+  return crc32(payload, header.payload_size) == header.payload_crc;
+}
+
+std::vector<std::uint8_t> encode_job(const JobSpec& spec) {
+  ESCHED_REQUIRE(spec.config.facility_model == nullptr,
+                 "wire: a facility model cannot cross the wire; facility "
+                 "sweeps must run in-process");
+  ByteWriter w;
+  w.str(spec.trace.source);
+  w.str(spec.trace.swf_path);
+  w.u64(spec.trace.months);
+  w.u64(spec.trace.seed);
+  w.f64(spec.trace.power_ratio);
+  w.u8(spec.trace.force_power_ratio ? 1 : 0);
+  w.u64(spec.trace.power_seed);
+  w.str(spec.pricing.model);
+  w.f64(spec.pricing.off_peak_price);
+  w.f64(spec.pricing.ratio);
+  w.str(spec.policy.name);
+  encode_config(w, spec.config);
+  w.str(spec.label);
+  return w.take();
+}
+
+JobSpec decode_job(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  JobSpec spec;
+  spec.trace.source = r.str();
+  spec.trace.swf_path = r.str();
+  spec.trace.months = r.u64();
+  spec.trace.seed = r.u64();
+  spec.trace.power_ratio = r.f64();
+  spec.trace.force_power_ratio = r.u8() != 0;
+  spec.trace.power_seed = r.u64();
+  spec.pricing.model = r.str();
+  spec.pricing.off_peak_price = r.f64();
+  spec.pricing.ratio = r.f64();
+  spec.policy.name = r.str();
+  spec.config = decode_config(r);
+  spec.label = r.str();
+  r.expect_end();
+  return spec;
+}
+
+std::vector<std::uint8_t> encode_result(const sim::SimResult& result) {
+  ByteWriter w;
+  w.str(result.policy_name);
+  w.str(result.trace_name);
+  w.i64(result.system_nodes);
+  w.i64(result.horizon_begin);
+  w.i64(result.horizon_end);
+  w.u32(static_cast<std::uint32_t>(result.records.size()));
+  for (const sim::JobRecord& rec : result.records) {
+    w.i64(rec.id);
+    w.i64(rec.submit);
+    w.i64(rec.start);
+    w.i64(rec.finish);
+    w.i64(rec.nodes);
+    w.f64(rec.power_per_node);
+    w.u32(static_cast<std::uint32_t>(rec.user));
+  }
+  w.f64(result.total_bill);
+  w.f64(result.bill_on_peak);
+  w.f64(result.bill_off_peak);
+  w.f64(result.total_energy);
+  w.f64(result.energy_on_peak);
+  w.f64(result.energy_off_peak);
+  w.f64(result.it_energy);
+  encode_f64_vector(w, result.daily_bills);
+  encode_f64_vector(w, result.power_curve);
+  encode_f64_vector(w, result.utilization_curve);
+  w.u64(result.scheduling_passes);
+  w.u64(result.ticks_processed);
+  w.u64(result.placement_failures);
+  return w.take();
+}
+
+sim::SimResult decode_result(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  sim::SimResult result;
+  result.policy_name = r.str();
+  result.trace_name = r.str();
+  result.system_nodes = r.i64();
+  result.horizon_begin = r.i64();
+  result.horizon_end = r.i64();
+  const std::uint32_t records = r.u32();
+  // Each record is 52 bytes; reject impossible counts before reserving.
+  if (static_cast<std::size_t>(records) * 52 > r.remaining()) {
+    wire_error("record count " + std::to_string(records) +
+               " exceeds remaining payload");
+  }
+  result.records.reserve(records);
+  for (std::uint32_t i = 0; i < records; ++i) {
+    sim::JobRecord rec;
+    rec.id = r.i64();
+    rec.submit = r.i64();
+    rec.start = r.i64();
+    rec.finish = r.i64();
+    rec.nodes = r.i64();
+    rec.power_per_node = r.f64();
+    rec.user = static_cast<int>(r.u32());
+    result.records.push_back(rec);
+  }
+  result.total_bill = r.f64();
+  result.bill_on_peak = r.f64();
+  result.bill_off_peak = r.f64();
+  result.total_energy = r.f64();
+  result.energy_on_peak = r.f64();
+  result.energy_off_peak = r.f64();
+  result.it_energy = r.f64();
+  result.daily_bills = decode_f64_vector(r);
+  result.power_curve = decode_f64_vector(r);
+  result.utilization_curve = decode_f64_vector(r);
+  result.scheduling_passes = r.u64();
+  result.ticks_processed = r.u64();
+  result.placement_failures = r.u64();
+  r.expect_end();
+  return result;
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& message) {
+  ByteWriter w;
+  w.str(message);
+  return w.take();
+}
+
+std::string decode_error(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  std::string message = r.str();
+  r.expect_end();
+  return message;
+}
+
+}  // namespace esched::run::wire

@@ -1,0 +1,141 @@
+// The length-prefixed, versioned wire protocol between the sweep
+// supervisor (run/proc.hpp) and esched-worker processes.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic       0x45534a31 ("ESJ1")
+//        4     2  version     kVersion — readers reject anything else
+//        6     1  type        FrameType
+//        7     1  reserved    must be 0
+//        8     4  task_id     supervisor-assigned cell index
+//       12     4  attempt     0-based retry counter (fault determinism
+//                             keys on (task_id, attempt))
+//       16     4  payload_size  bytes following the header
+//       20     4  payload_crc   CRC-32 (IEEE) of the payload bytes
+//       24     …  payload
+//
+// The header is validated field by field (magic, version, reserved byte,
+// size bound) before the payload is read, and the payload again by CRC —
+// a supervisor can therefore classify "worker died mid-write" (short
+// read), "worker wrote garbage" (bad magic/length/CRC), and "worker
+// answered" without trusting the stream.
+//
+// Payload encodings are fixed-width little-endian; doubles travel as
+// their IEEE-754 bit patterns (std::bit_cast), never through text — the
+// round trip of both JobSpec and SimResult is *exact*, pinned by
+// results_identical in wire_test. Strings and vectors are u32
+// length-prefixed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "run/spec.hpp"
+#include "sim/result.hpp"
+
+namespace esched::run::wire {
+
+inline constexpr std::uint32_t kMagic = 0x45534a31u;  // "ESJ1"
+inline constexpr std::uint16_t kVersion = 1;
+/// Frames beyond this are rejected as corruption (a SimResult for a
+/// multi-year trace is ~10 MB; 256 MB is far above any legitimate frame).
+inline constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+/// Size of the fixed frame header in bytes.
+inline constexpr std::size_t kHeaderSize = 24;
+
+enum class FrameType : std::uint8_t {
+  kJob = 1,     ///< supervisor -> worker: payload is a JobSpec
+  kResult = 2,  ///< worker -> supervisor: payload is a SimResult
+  kError = 3,   ///< worker -> supervisor: payload is an error string;
+                ///< deterministic failure, the supervisor fails fast
+};
+
+/// Decoded frame header.
+struct FrameHeader {
+  FrameType type = FrameType::kJob;
+  std::uint32_t task_id = 0;
+  std::uint32_t attempt = 0;
+  std::uint32_t payload_size = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention).
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// Append-only little-endian byte sink for payload encoding.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void str(const std::string& s);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader; throws esched::Error ("wire: …")
+/// on any truncation, so a short or corrupted payload can never decode
+/// into a plausible-looking value.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  /// Throws unless the payload was consumed exactly — trailing bytes mean
+  /// the two sides disagree about the encoding.
+  void expect_end() const;
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Encode a complete frame (header + payload).
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint32_t task_id,
+                                       std::uint32_t attempt,
+                                       const std::vector<std::uint8_t>& payload);
+
+/// Decode and validate the fixed header from `bytes` (which must hold at
+/// least kHeaderSize bytes). Throws esched::Error on bad magic, version,
+/// reserved byte, unknown type or oversized payload. The payload CRC is
+/// *not* checked here — call verify_payload once the payload has arrived.
+FrameHeader decode_header(const std::uint8_t* bytes);
+
+/// True when `payload` matches the header's size and CRC.
+bool verify_payload(const FrameHeader& header, const std::uint8_t* payload);
+
+/// JobSpec payload codec. Throws esched::Error if the spec carries a
+/// facility model (pointers cannot cross the wire); the tracer pointer is
+/// dropped silently (tracing never changes results).
+std::vector<std::uint8_t> encode_job(const JobSpec& spec);
+JobSpec decode_job(const std::vector<std::uint8_t>& payload);
+
+/// SimResult payload codec; exact (bit-identical) round trip.
+std::vector<std::uint8_t> encode_result(const sim::SimResult& result);
+sim::SimResult decode_result(const std::vector<std::uint8_t>& payload);
+
+/// Error-string payload codec (FrameType::kError).
+std::vector<std::uint8_t> encode_error(const std::string& message);
+std::string decode_error(const std::vector<std::uint8_t>& payload);
+
+}  // namespace esched::run::wire

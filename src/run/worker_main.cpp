@@ -1,0 +1,136 @@
+// esched-worker: the child half of the multi-process sweep (run/proc.hpp).
+//
+// Protocol: read kJob frames from stdin, rebuild the cell from its
+// declarative JobSpec (run/spec.hpp), simulate, answer with one kResult
+// frame on stdout; repeat until EOF on stdin (the supervisor closing the
+// pipe is the graceful shutdown signal). A deterministic simulation error
+// (bad spec, invalid trace) is answered with a kError frame — the
+// supervisor fails fast on those, because retrying a deterministic
+// failure can only fail again.
+//
+// Nothing else may touch stdout (the frame stream); diagnostics go to
+// stderr, which the worker inherits from the supervisor.
+//
+// ESCHED_FAULT (run/fault.hpp) injects deterministic faults per
+// (task_id, attempt) for CI: raise SIGKILL mid-task, hang until the
+// supervisor's timeout kills us, or answer with a CRC-corrupted frame.
+#include <csignal>
+#include <cstdio>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "run/fault.hpp"
+#include "run/spec.hpp"
+#include "run/wire.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace esched;
+
+/// Exit codes: 0 clean EOF shutdown, 2 protocol/configuration error.
+/// (127 is reserved for "exec failed" in the supervisor's spawn path.)
+constexpr int kProtocolError = 2;
+
+/// Read exactly `size` bytes; returns false on clean EOF at offset 0,
+/// dies (exit 2) on a partial frame — a supervisor never truncates.
+bool read_exact(std::uint8_t* buf, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(STDIN_FILENO, buf + done, size - done);
+    if (n == 0) {
+      if (done == 0) return false;
+      std::fprintf(stderr, "esched-worker: truncated frame (%zu/%zu)\n",
+                   done, size);
+      std::exit(kProtocolError);
+    }
+    if (n < 0) {
+      std::perror("esched-worker: read");
+      std::exit(kProtocolError);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_all(const std::vector<std::uint8_t>& bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n =
+        ::write(STDOUT_FILENO, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      std::perror("esched-worker: write");
+      std::exit(kProtocolError);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+int main() {
+  run::FaultPlan faults;
+  try {
+    faults = run::FaultPlan::from_env();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "esched-worker: %s\n", e.what());
+    return kProtocolError;
+  }
+
+  std::vector<std::uint8_t> header(run::wire::kHeaderSize);
+  for (;;) {
+    if (!read_exact(header.data(), header.size())) return 0;  // clean EOF
+    run::wire::FrameHeader frame;
+    try {
+      frame = run::wire::decode_header(header.data());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "esched-worker: %s\n", e.what());
+      return kProtocolError;
+    }
+    std::vector<std::uint8_t> payload(frame.payload_size);
+    if (frame.payload_size > 0 &&
+        !read_exact(payload.data(), payload.size())) {
+      return kProtocolError;
+    }
+    if (!run::wire::verify_payload(frame, payload.data()) ||
+        frame.type != run::wire::FrameType::kJob) {
+      std::fprintf(stderr, "esched-worker: corrupt or unexpected frame\n");
+      return kProtocolError;
+    }
+
+    const run::FaultPlan::Action fault =
+        faults.decide(frame.task_id, frame.attempt);
+    if (fault == run::FaultPlan::Action::kCrash) {
+      // Die the hard way, mid-task: no flush, no exit handlers — exactly
+      // what a segfault or OOM kill looks like to the supervisor.
+      ::raise(SIGKILL);
+    }
+    if (fault == run::FaultPlan::Action::kHang) {
+      // Stop responding; only the supervisor's timeout kill ends this.
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+
+    std::vector<std::uint8_t> reply;
+    run::wire::FrameType reply_type = run::wire::FrameType::kResult;
+    try {
+      const run::JobSpec spec = run::wire::decode_job(payload);
+      reply = run::wire::encode_result(run::execute_job_spec(spec));
+    } catch (const std::exception& e) {
+      reply_type = run::wire::FrameType::kError;
+      reply = run::wire::encode_error(e.what());
+    }
+    std::vector<std::uint8_t> out = run::wire::encode_frame(
+        reply_type, frame.task_id, frame.attempt, reply);
+    if (fault == run::FaultPlan::Action::kGarbage && !reply.empty()) {
+      // Flip one payload byte after the CRC was computed: a well-framed
+      // answer whose corruption only the checksum can catch.
+      out[run::wire::kHeaderSize] ^= 0xFF;
+    }
+    write_all(out);
+  }
+}

@@ -37,8 +37,11 @@ enum Field : std::size_t {
   kFieldCount = 18,
 };
 
-// Parse one whitespace-separated numeric token list.
-std::vector<double> split_numbers(const std::string& line, int line_no) {
+// Parse one whitespace-separated numeric token list. Errors carry the
+// "<source>:<line>:" position so a bad record in a 100k-line archive
+// file is findable without bisection.
+std::vector<double> split_numbers(const std::string& line, int line_no,
+                                  const std::string& source) {
   std::vector<double> out;
   out.reserve(kFieldCount + 1);
   const char* p = line.c_str();
@@ -47,7 +50,7 @@ std::vector<double> split_numbers(const std::string& line, int line_no) {
     if (*p == '\0') break;
     char* end = nullptr;
     const double v = std::strtod(p, &end);
-    ESCHED_REQUIRE(end != p, "SWF line " + std::to_string(line_no) +
+    ESCHED_REQUIRE(end != p, source + ":" + std::to_string(line_no) +
                                  ": non-numeric token near '" +
                                  std::string(p).substr(0, 16) + "'");
     out.push_back(v);
@@ -55,6 +58,57 @@ std::vector<double> split_numbers(const std::string& line, int line_no) {
   }
   return out;
 }
+
+/// Capped stderr reporting for recoverable record repairs: the first
+/// occurrence of each *kind* prints in full with its "<source>:<line>"
+/// position, later ones only count, and finish() emits one total per
+/// kind. Silent repairs cost real debugging time (a trace that "loads
+/// fine" but dropped half its jobs); unbounded ones would bury the
+/// terminal under a big archive file. One instance per load call, so the
+/// caps are per file, deterministic, and test-observable.
+class FieldWarner {
+ public:
+  explicit FieldWarner(const std::string& source) : source_(source) {}
+
+  void warn(const std::string& kind, int line_no,
+            const std::string& message) {
+    for (Entry& e : entries_) {
+      if (e.kind == kind) {
+        ++e.total;
+        return;
+      }
+    }
+    entries_.push_back({kind, 1});
+    if (line_no > 0) {
+      std::fprintf(stderr,
+                   "swf: %s:%d: %s (first '%s'; further occurrences "
+                   "counted, not printed)\n",
+                   source_.c_str(), line_no, message.c_str(), kind.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "swf: %s: %s (first '%s'; further occurrences counted, "
+                   "not printed)\n",
+                   source_.c_str(), message.c_str(), kind.c_str());
+    }
+  }
+
+  void finish() const {
+    for (const Entry& e : entries_) {
+      if (e.total > 1) {
+        std::fprintf(stderr, "swf: %s: %zu records total with '%s'\n",
+                     source_.c_str(), e.total, e.kind.c_str());
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string kind;
+    std::size_t total = 0;
+  };
+  std::vector<Entry> entries_;  ///< a handful of kinds; linear scan is fine
+  std::string source_;
+};
 
 // Extract "Key: value" from an SWF header comment line "; Key: value".
 bool parse_header(const std::string& line, std::string& key,
@@ -82,7 +136,9 @@ bool parse_header(const std::string& line, std::string& key,
 }  // namespace
 
 Trace load(std::istream& in, const std::string& trace_name,
-           const LoadOptions& options) {
+           const LoadOptions& options, const std::string& source) {
+  const std::string& src = source.empty() ? trace_name : source;
+  FieldWarner warner(src);
   NodeCount system_nodes = options.default_system_nodes;
   bool power_column = false;
   std::vector<Job> jobs;
@@ -105,11 +161,12 @@ Trace load(std::istream& in, const std::string& trace_name,
       continue;
     }
 
-    const std::vector<double> f = split_numbers(line, line_no);
+    const std::vector<double> f = split_numbers(line, line_no, src);
     if (f.empty()) continue;
     const std::size_t expected = kFieldCount + (power_column ? 1u : 0u);
     ESCHED_REQUIRE(f.size() >= expected,
-                   "SWF line " + std::to_string(line_no) + ": expected " +
+                   src + ":" + std::to_string(line_no) +
+                       ": truncated record: expected " +
                        std::to_string(expected) + " fields, got " +
                        std::to_string(f.size()));
 
@@ -121,13 +178,26 @@ Trace load(std::istream& in, const std::string& trace_name,
     job.submit = static_cast<TimeSec>(f[kSubmitTime]);
     job.runtime = static_cast<DurationSec>(f[kRunTime]);
     auto procs = static_cast<NodeCount>(f[kRequestedProcs]);
-    if (procs <= 0 && options.allow_allocated_as_requested)
+    if (procs <= 0 && options.allow_allocated_as_requested) {
       procs = static_cast<NodeCount>(f[kAllocatedProcs]);
+      if (procs > 0) {
+        warner.warn("requested-procs-missing", line_no,
+                    "requested processors missing; using allocated");
+      }
+    }
     job.nodes = procs;
     job.walltime = static_cast<DurationSec>(f[kRequestedTime]);
-    if (job.walltime <= 0) job.walltime = job.runtime;
+    if (job.walltime <= 0) {
+      job.walltime = job.runtime;
+      warner.warn("walltime-missing", line_no,
+                  "requested time missing; using actual runtime");
+    }
     job.user = static_cast<int>(f[kUserId]);
     const auto queue_field = static_cast<int>(f[kQueueNumber]);
+    if (queue_field < 0) {
+      warner.warn("queue-negative", line_no,
+                  "negative queue number clamped to 0");
+    }
     job.queue = queue_field >= 0 ? queue_field : 0;
     const auto preceding = static_cast<JobId>(f[kPrecedingJob]);
     job.preceding = preceding > 0 ? preceding : 0;
@@ -135,19 +205,41 @@ Trace load(std::istream& in, const std::string& trace_name,
     job.think_time = (job.preceding != 0 && think > 0) ? think : 0;
     if (power_column) job.power_per_node = f[kFieldCount];
 
-    // The archive marks unusable records with -1/0 sizes or runtimes.
-    if (job.nodes <= 0 || job.runtime <= 0 || job.submit < 0) continue;
+    // The archive marks unusable records with -1/0 sizes or runtimes;
+    // skipping them is correct, skipping them *silently* is how half a
+    // trace goes missing without anyone noticing.
+    if (job.nodes <= 0) {
+      warner.warn("record-without-size", line_no,
+                  "record skipped: no usable processor count");
+      continue;
+    }
+    if (job.runtime <= 0) {
+      warner.warn("record-without-runtime", line_no,
+                  "record skipped: no usable runtime");
+      continue;
+    }
+    if (job.submit < 0) {
+      warner.warn("record-negative-submit", line_no,
+                  "record skipped: negative submit time");
+      continue;
+    }
     jobs.push_back(job);
   }
 
   ESCHED_REQUIRE(system_nodes > 0,
-                 "SWF header lacks MaxNodes/MaxProcs and no "
-                 "default_system_nodes was given");
+                 src + ": SWF header lacks MaxNodes/MaxProcs and no "
+                       "default_system_nodes was given");
   Trace trace(trace_name, system_nodes);
   for (Job& j : jobs) {
-    if (j.nodes > system_nodes) j.nodes = system_nodes;  // archive quirk
+    if (j.nodes > system_nodes) {
+      j.nodes = system_nodes;  // archive quirk
+      warner.warn("job-wider-than-machine", 0,
+                  "job wider than the machine clamped to " +
+                      std::to_string(system_nodes) + " nodes");
+    }
     trace.add_job(j);
   }
+  warner.finish();
   trace.finalize();
   return trace;
 }
@@ -155,11 +247,11 @@ Trace load(std::istream& in, const std::string& trace_name,
 Trace load_file(const std::string& path, const LoadOptions& options) {
   std::ifstream in(path);
   ESCHED_REQUIRE(in.good(), "cannot open SWF file: " + path);
-  // Trace name = file basename.
+  // Trace name = file basename; errors/warnings name the full path.
   auto slash = path.find_last_of('/');
   const std::string name =
       slash == std::string::npos ? path : path.substr(slash + 1);
-  return load(in, name, options);
+  return load(in, name, options, path);
 }
 
 void save(std::ostream& out, const Trace& trace, bool with_power_column) {

@@ -29,12 +29,21 @@ struct LoadOptions {
   bool allow_allocated_as_requested = true;
 };
 
-/// Parse an SWF stream. Throws esched::Error on malformed lines. Jobs with
-/// missing/zero runtime or size are skipped (the archive marks them -1).
+/// Parse an SWF stream. Malformed input — a non-numeric token, a
+/// truncated line with fewer fields than the format requires — throws
+/// esched::Error positioned as "<source>:<line>: message" (`source`
+/// defaults to `trace_name`; load_file passes the file path). Recoverable
+/// oddities — unusable records the archive marks with -1/0 sizes or
+/// runtimes, fallbacks for missing requested-processor or walltime
+/// fields, clamped negative queue numbers, jobs wider than the machine —
+/// are repaired or skipped exactly as before, but each *kind* of repair
+/// is reported once per load on stderr with the first offending
+/// "<source>:<line>" and a trailing total, instead of happening silently.
 Trace load(std::istream& in, const std::string& trace_name,
-           const LoadOptions& options = {});
+           const LoadOptions& options = {}, const std::string& source = "");
 
-/// Parse an SWF file from disk.
+/// Parse an SWF file from disk. Errors and warnings are positioned
+/// against `path` ("<path>:<line>: message").
 Trace load_file(const std::string& path, const LoadOptions& options = {});
 
 /// Write a trace as SWF. If `with_power_column` is true, appends the

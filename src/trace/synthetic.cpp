@@ -314,4 +314,19 @@ Trace make_mira_like(const MiraConfig& mc, std::uint64_t seed) {
   return renumber(out);
 }
 
+Trace make_workload_by_name(const std::string& name, std::size_t months,
+                            std::uint64_t seed) {
+  if (name == "sdsc-blue") {
+    return make_sdsc_blue_like(months, seed != 0 ? seed : 2001);
+  }
+  if (name == "anl-bgp") {
+    return make_anl_bgp_like(months, seed != 0 ? seed : 2009);
+  }
+  if (name == "mira") {
+    return make_mira_like(MiraConfig{}, seed != 0 ? seed : 2012);
+  }
+  throw Error("unknown workload name \"" + name +
+              "\" (known: sdsc-blue, anl-bgp, mira)");
+}
+
 }  // namespace esched::trace

@@ -101,4 +101,15 @@ struct MiraConfig {
 Trace make_mira_like(const MiraConfig& config = {},
                      std::uint64_t seed = 2012);
 
+/// Construct one of the named synthetic workloads — the registry that lets
+/// a declarative run::TraceSpec cross a process boundary (a worker rebuilds
+/// the trace from the name alone; the generators are deterministic in
+/// (name, months, seed), so the rebuilt trace is bit-identical). Known
+/// names: "sdsc-blue", "anl-bgp", "mira" (months ignored — one month by
+/// construction). `seed` 0 selects each workload's canonical seed
+/// (2001 / 2009 / 2012). Throws esched::Error listing the valid names for
+/// anything else.
+Trace make_workload_by_name(const std::string& name, std::size_t months,
+                            std::uint64_t seed = 0);
+
 }  // namespace esched::trace

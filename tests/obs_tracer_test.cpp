@@ -75,10 +75,12 @@ std::vector<Event> parse_chrome_events(const std::string& path) {
   return events;
 }
 
-/// Assert every track's B/E events nest like parentheses.
+/// Assert every track's B/E events nest like parentheses. "X" complete
+/// events carry their own duration and cannot unbalance anything.
 void expect_balanced_spans(const std::vector<Event>& events) {
   std::map<long long, std::vector<std::string>> stacks;
   for (const Event& e : events) {
+    if (e.phase == 'X') continue;
     std::vector<std::string>& stack = stacks[e.tid];
     if (e.phase == 'B') {
       stack.push_back(e.name);
@@ -206,6 +208,78 @@ TEST_F(ObsTracerTest, DecisionLogRoundTripsWithFixedKeyOrder) {
   EXPECT_NE(line.find("{\"id\": 7, \"power\": 45.5}"), std::string::npos);
   EXPECT_NE(line.find("\"dispatched\": [7]"), std::string::npos);
   EXPECT_NE(line.find("\"reason\": \"machine_full\""), std::string::npos);
+  remove_outputs(path);
+}
+
+TEST_F(ObsTracerTest, CompleteSpanEmitsXEventsOnExplicitTracks) {
+  const std::string path = trace_path("obs_tracer_complete");
+  {
+    Tracer tracer;
+    tracer.open(path);
+    const auto now = std::chrono::steady_clock::now();
+    tracer.complete_span("worker:0", "proc", now,
+                         now + std::chrono::milliseconds(5), 1000);
+    // Overlapping span on the same track — legal for "X" events, which is
+    // the whole reason complete_span exists (B/E must nest).
+    tracer.complete_span("task:greedy#0", "proc", now,
+                         now + std::chrono::milliseconds(3), 1000);
+    // End before begin is clamped to a zero-length span, not negative.
+    tracer.complete_span("clamped", "proc",
+                         now + std::chrono::milliseconds(2), now, 1001);
+    tracer.close();
+  }
+  std::string error;
+  const std::string content = read_file(path);
+  EXPECT_TRUE(testjson::is_valid_json(content, &error)) << error;
+  const std::vector<Event> events = parse_chrome_events(path);
+  ASSERT_EQ(events.size(), 3u);
+  for (const Event& e : events) EXPECT_EQ(e.phase, 'X') << e.name;
+  EXPECT_EQ(events[0].tid, 1000);
+  EXPECT_EQ(events[2].tid, 1001);
+  expect_balanced_spans(events);  // X events never unbalance
+  // The clamped span must carry a non-negative duration.
+  EXPECT_EQ(content.find("\"dur\": -"), std::string::npos);
+  remove_outputs(path);
+}
+
+TEST_F(ObsTracerTest, EveryRecordIsDurableBeforeClose) {
+  // Crash hygiene: both sinks are flushed after every record_tick, so a
+  // process SIGKILLed mid-run (no destructor, no close()) still leaves
+  // every already-recorded decision parseable on disk. Simulated here by
+  // reading the files while the tracer is open with records buffered
+  // in ofstreams that were never closed.
+  const std::string path = trace_path("obs_tracer_durable");
+  Tracer tracer;
+  tracer.open(path);
+  TickRecord rec;
+  rec.sim = "FCFS/durability";
+  rec.time = 600;
+  rec.period = "off_peak";
+  rec.dispatched = {1, 2};
+  rec.reason = "queue_empty";
+  tracer.record_tick(rec);
+  rec.time = 1200;
+  tracer.record_tick(rec);
+
+  // Decision log: both lines fully on disk, each independently parseable
+  // (that is what "a valid JSONL prefix" means).
+  const std::vector<std::string> lines =
+      read_lines(path + Tracer::kDecisionLogSuffix);
+  ASSERT_EQ(lines.size(), 2u);
+  std::string error;
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(testjson::is_valid_json(line, &error)) << error;
+    EXPECT_NE(line.find("\"sim\": \"FCFS/durability\""), std::string::npos);
+  }
+  // Chrome sink: flushed too. The file is a prefix (no "]}" footer yet) —
+  // recoverable by appending the footer, which is the documented contract.
+  const std::string chrome = read_file(path);
+  EXPECT_NE(chrome.find("{\"traceEvents\": ["), std::string::npos);
+  EXPECT_TRUE(testjson::is_valid_json(chrome + "]}", &error))
+      << error << "\n"
+      << chrome;
+
+  tracer.close();
   remove_outputs(path);
 }
 

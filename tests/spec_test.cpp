@@ -1,0 +1,133 @@
+// Tests for declarative sweep-cell specs (run/spec.hpp): every builder
+// must be deterministic in the spec (that is the whole basis of the
+// multi-process determinism contract), execute_job_spec must be
+// bit-identical to hand-assembling the same cell in-process, and the
+// by-name factories must reject unknown names loudly.
+#include "run/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/policy.hpp"
+#include "power/pricing.hpp"
+#include "power/profile.hpp"
+#include "run/sweep.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace esched::run {
+namespace {
+
+TEST(SpecTest, BuildTraceIsDeterministic) {
+  TraceSpec spec;
+  spec.source = "sdsc-blue";
+  spec.months = 1;
+  const trace::Trace a = build_trace(spec);
+  const trace::Trace b = build_trace(spec);
+  ASSERT_EQ(a.jobs().size(), b.jobs().size());
+  ASSERT_FALSE(a.jobs().empty());
+  for (std::size_t i = 0; i < a.jobs().size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].id, b.jobs()[i].id);
+    EXPECT_EQ(a.jobs()[i].submit, b.jobs()[i].submit);
+    EXPECT_EQ(a.jobs()[i].power_per_node, b.jobs()[i].power_per_node);
+  }
+}
+
+TEST(SpecTest, BuildTraceMatchesHandAssembledCanonicalPipeline) {
+  // The spec path must reproduce the bench loader's historical behavior:
+  // named generator with its canonical seed, then the paper's synthetic
+  // power draw with the canonical power seed.
+  TraceSpec spec;
+  spec.source = "sdsc-blue";
+  spec.months = 1;
+  spec.power_ratio = 3.0;
+  const trace::Trace from_spec = build_trace(spec);
+
+  trace::Trace by_hand = trace::make_sdsc_blue_like(/*months=*/1, 2001);
+  power::ProfileConfig cfg;
+  cfg.ratio = 3.0;
+  power::assign_profiles(by_hand, cfg, 0xe5c4edULL);
+
+  ASSERT_EQ(from_spec.jobs().size(), by_hand.jobs().size());
+  for (std::size_t i = 0; i < by_hand.jobs().size(); ++i) {
+    EXPECT_EQ(from_spec.jobs()[i].id, by_hand.jobs()[i].id);
+    EXPECT_EQ(from_spec.jobs()[i].power_per_node,
+              by_hand.jobs()[i].power_per_node);
+  }
+}
+
+TEST(SpecTest, SeedsOverrideCanonicalDefaults) {
+  TraceSpec canonical;
+  canonical.source = "anl-bgp";
+  canonical.months = 1;
+  TraceSpec seeded = canonical;
+  seeded.seed = 424242;
+  const trace::Trace a = build_trace(canonical);
+  const trace::Trace b = build_trace(seeded);
+  // Different generator seed => different workload (in job count or in
+  // the jobs themselves).
+  bool differs = a.jobs().size() != b.jobs().size();
+  for (std::size_t i = 0; !differs && i < a.jobs().size(); ++i) {
+    differs = a.jobs()[i].submit != b.jobs()[i].submit ||
+              a.jobs()[i].nodes != b.jobs()[i].nodes ||
+              a.jobs()[i].runtime != b.jobs()[i].runtime;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SpecTest, ExecuteJobSpecMatchesInProcessSimulation) {
+  JobSpec spec;
+  spec.trace.source = "sdsc-blue";
+  spec.trace.months = 1;
+  spec.pricing.model = "paper";
+  spec.pricing.ratio = 3.0;
+  spec.policy.name = "greedy";
+  spec.label = "greedy/sdsc-blue";
+  const sim::SimResult from_spec = execute_job_spec(spec);
+
+  const trace::Trace trace = build_trace(spec.trace);
+  const auto tariff = power::make_paper_tariff(3.0);
+  const auto policy = core::make_policy_by_name("greedy");
+  const sim::SimResult by_hand =
+      sim::simulate(trace, *tariff, *policy, sim::SimConfig{});
+
+  EXPECT_TRUE(results_identical(from_spec, by_hand));
+}
+
+TEST(SpecTest, ByNameFactoriesRejectUnknownNames) {
+  PolicySpec policy;
+  policy.name = "no-such-policy";
+  EXPECT_THROW(build_policy(policy), Error);
+
+  PricingSpec pricing;
+  pricing.model = "no-such-tariff";
+  EXPECT_THROW(build_pricing(pricing), Error);
+
+  TraceSpec trace;
+  trace.source = "no-such-workload";
+  EXPECT_THROW(build_trace(trace), Error);
+
+  TraceSpec swf;
+  swf.source = "swf";
+  swf.swf_path = "/nonexistent/trace.swf";
+  EXPECT_THROW(build_trace(swf), Error);
+}
+
+TEST(SpecTest, AllStandardNamesConstruct) {
+  for (const char* name : {"fcfs", "greedy", "greedy-total", "knapsack"}) {
+    PolicySpec spec;
+    spec.name = name;
+    EXPECT_NE(build_policy(spec), nullptr) << name;
+  }
+  for (const char* model : {"paper", "onoff", "flat"}) {
+    PricingSpec spec;
+    spec.model = model;
+    EXPECT_NE(build_pricing(spec), nullptr) << model;
+  }
+}
+
+}  // namespace
+}  // namespace esched::run

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -44,14 +45,14 @@ std::vector<SimJob> three_policy_sweep() {
   std::vector<SimJob> sweep;
   sweep.push_back({trace, tariff,
                    [] { return std::make_unique<core::FcfsPolicy>(); },
-                   sim::SimConfig{}, "fcfs"});
+                   sim::SimConfig{}, "fcfs", nullptr});
   sweep.push_back(
       {trace, tariff,
        [] { return std::make_unique<core::GreedyPowerPolicy>(); },
-       sim::SimConfig{}, "greedy"});
+       sim::SimConfig{}, "greedy", nullptr});
   sweep.push_back({trace, tariff,
                    [] { return std::make_unique<core::KnapsackPolicy>(); },
-                   sim::SimConfig{}, "knapsack"});
+                   sim::SimConfig{}, "knapsack", nullptr});
   return sweep;
 }
 
@@ -133,6 +134,53 @@ TEST(SweepRunnerTest, PropagatesTaskExceptions) {
   EXPECT_THROW(parallel.run(sweep), std::runtime_error);
   SweepRunner serial(1);
   EXPECT_THROW(serial.run(sweep), std::runtime_error);
+}
+
+TEST(SweepRunnerTest, TaskExceptionsSettleRemainingTasksFirst) {
+  // Settle-all-then-propagate: a cell that throws must not abandon the
+  // cells submitted after it — "which cells actually ran" must never
+  // depend on scheduling.
+  std::vector<SimJob> sweep = three_policy_sweep();
+  auto built = std::make_shared<std::atomic<int>>(0);
+  sweep[0].make_policy = []() -> std::unique_ptr<core::SchedulingPolicy> {
+    throw std::runtime_error("factory boom");
+  };
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    const auto inner = sweep[i].make_policy;
+    sweep[i].make_policy = [inner, built] {
+      built->fetch_add(1);
+      return inner();
+    };
+  }
+
+  SweepRunner serial(1);
+  EXPECT_THROW(serial.run(sweep), std::runtime_error);
+  EXPECT_EQ(built->load(), 2);  // both later cells still executed
+  EXPECT_EQ(serial.last_stats().tasks, sweep.size());
+
+  built->store(0);
+  SweepRunner parallel(4);
+  EXPECT_THROW(parallel.run(sweep), std::runtime_error);
+  EXPECT_EQ(built->load(), 2);
+}
+
+TEST(SweepRunnerTest, ThrowingProgressCallbackSettlesThenPropagates) {
+  const std::vector<SimJob> sweep = three_policy_sweep();
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    SweepRunner runner(workers);
+    runner.set_progress([](const SweepProgress& p) {
+      if (p.done == 1) throw std::runtime_error("progress boom");
+    });
+    EXPECT_THROW(runner.run(sweep), std::runtime_error)
+        << "workers=" << workers;
+    // The pool settled: stats cover every task, nothing was abandoned.
+    EXPECT_EQ(runner.last_stats().tasks, sweep.size());
+    EXPECT_GT(runner.last_stats().cpu_seconds, 0.0);
+    // And the runner is still usable afterwards.
+    runner.set_progress(nullptr);
+    const auto results = runner.run(sweep);
+    EXPECT_EQ(results.size(), sweep.size());
+  }
 }
 
 TEST(SweepRunnerTest, DefaultJobsHonorsEnvironment) {

@@ -111,6 +111,91 @@ TEST(SwfTest, MalformedLineThrows) {
   EXPECT_THROW(load(in2, "t"), Error);
 }
 
+TEST(SwfTest, MalformedLineErrorsCarryFileAndLinePosition) {
+  // A garbled token names "<source>:<line>" and echoes the offender.
+  std::istringstream in(
+      "; MaxNodes: 64\n"
+      "1 0 -1 60 8 -1 -1 8 60 -1 1 0 -1 -1 -1 -1 -1 -1\n"
+      "2 0 -1 60 8 banana -1 8 60 -1 1 0 -1 -1 -1 -1 -1 -1\n");
+  try {
+    load(in, "jobs.swf", {}, "/data/jobs.swf");
+    FAIL() << "expected esched::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("/data/jobs.swf:3:"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-numeric token"), std::string::npos) << what;
+    EXPECT_NE(what.find("banana"), std::string::npos) << what;
+  }
+
+  // A truncated record reports line, expected and actual field counts.
+  std::istringstream in2(
+      "; MaxNodes: 64\n"
+      "1 0 -1 60\n");
+  try {
+    load(in2, "short.swf");
+    FAIL() << "expected esched::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    // No explicit source: errors fall back to the trace name.
+    EXPECT_NE(what.find("short.swf:2:"), std::string::npos) << what;
+    EXPECT_NE(what.find("truncated record"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 18 fields, got 4"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(SwfTest, RecoverableRepairsWarnOncePerKindWithTotals) {
+  // Three skipped-for-no-runtime records and one walltime fallback: the
+  // first occurrence of each kind prints with its position, further ones
+  // are only counted, and a per-kind total closes the load.
+  std::istringstream in(
+      "; MaxNodes: 64\n"
+      "1 0 -1 -1 8 -1 -1 8 60 -1 1 0 -1 -1 -1 -1 -1 -1\n"
+      "2 0 -1 -1 8 -1 -1 8 60 -1 1 0 -1 -1 -1 -1 -1 -1\n"
+      "3 0 -1 -1 8 -1 -1 8 60 -1 1 0 -1 -1 -1 -1 -1 -1\n"
+      "4 0 -1 60 8 -1 -1 8 -1 -1 1 0 -1 -1 -1 -1 -1 -1\n"
+      "5 1 -1 60 8 -1 -1 8 60 -1 1 0 -1 -1 -1 -1 -1 -1\n");
+  ::testing::internal::CaptureStderr();
+  const Trace t = load(in, "warn.swf");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  ASSERT_EQ(t.size(), 2u);
+
+  // First occurrence printed once, with its line...
+  const std::string first = "swf: warn.swf:2: record skipped: no usable "
+                            "runtime (first 'record-without-runtime'";
+  const std::size_t at = err.find(first);
+  EXPECT_NE(at, std::string::npos) << err;
+  EXPECT_EQ(err.find(first, at + 1), std::string::npos)
+      << "printed more than once:\n"
+      << err;
+  // ...occurrences 2 and 3 only show up in the closing total...
+  EXPECT_NE(err.find("swf: warn.swf: 3 records total with "
+                     "'record-without-runtime'"),
+            std::string::npos)
+      << err;
+  // ...and a single-occurrence kind gets no total line.
+  EXPECT_NE(err.find("warn.swf:5: requested time missing"),
+            std::string::npos)
+      << err;
+  EXPECT_EQ(err.find("records total with 'walltime-missing'"),
+            std::string::npos)
+      << err;
+}
+
+TEST(SwfTest, OverwideJobsWarnWhenClamped) {
+  std::istringstream in(
+      "; MaxNodes: 64\n"
+      "1 0 -1 60 128 -1 -1 128 60 -1 1 0 -1 -1 -1 -1 -1 -1\n");
+  ::testing::internal::CaptureStderr();
+  const Trace t = load(in, "wide.swf");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].nodes, 64);
+  EXPECT_NE(err.find("job wider than the machine clamped to 64 nodes"),
+            std::string::npos)
+      << err;
+}
+
 TEST(SwfTest, RoundTripWithoutPower) {
   Trace t("rt", 256);
   t.add_job(make_job(1, 0, 16, 3600));

@@ -1,0 +1,164 @@
+// Tests for the supervisor<->worker wire protocol (run/wire.hpp): the
+// round trip of both payload types must be *exact* (results_identical,
+// field-by-field spec equality), and every corruption class the
+// supervisor claims to detect — bad magic, bad version, bad length,
+// payload CRC mismatch, truncated payload — must actually be rejected.
+#include "run/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "power/facility.hpp"
+#include "run/spec.hpp"
+#include "run/sweep.hpp"
+#include "util/error.hpp"
+
+namespace esched::run::wire {
+namespace {
+
+JobSpec sample_spec() {
+  JobSpec spec;
+  spec.trace.source = "anl-bgp";
+  spec.trace.months = 2;
+  spec.trace.seed = 7;
+  spec.trace.power_ratio = 2.5;
+  spec.trace.force_power_ratio = true;
+  spec.trace.power_seed = 99;
+  spec.pricing.model = "onoff";
+  spec.pricing.off_peak_price = 0.041;
+  spec.pricing.ratio = 4.0;
+  spec.policy.name = "knapsack";
+  spec.config.scheduler.starvation_age = 3600;
+  spec.config.max_passes_per_tick = 1;
+  spec.label = "knapsack/anl-bgp/guard=3600";
+  return spec;
+}
+
+TEST(WireTest, Crc32MatchesKnownVectors) {
+  // The zlib convention: crc32("123456789") == 0xCBF43926.
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(check.data()),
+                  check.size()),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(WireTest, ByteReaderRejectsTruncation) {
+  ByteWriter w;
+  w.u32(42);
+  w.str("hello");
+  const auto bytes = w.bytes();
+  ByteReader ok(bytes);
+  EXPECT_EQ(ok.u32(), 42u);
+  EXPECT_EQ(ok.str(), "hello");
+  ok.expect_end();
+
+  // Reading past the end throws rather than fabricating values.
+  ByteReader short_read(bytes.data(), bytes.size() - 1);
+  EXPECT_EQ(short_read.u32(), 42u);
+  EXPECT_THROW(short_read.str(), Error);
+
+  // Trailing bytes mean the two sides disagree about the encoding.
+  ByteReader trailing(bytes);
+  EXPECT_EQ(trailing.u32(), 42u);
+  EXPECT_THROW(trailing.expect_end(), Error);
+}
+
+TEST(WireTest, JobSpecRoundTripIsExact) {
+  const JobSpec spec = sample_spec();
+  const JobSpec back = decode_job(encode_job(spec));
+  EXPECT_EQ(back.trace, spec.trace);
+  EXPECT_EQ(back.pricing, spec.pricing);
+  EXPECT_EQ(back.policy, spec.policy);
+  EXPECT_EQ(back.label, spec.label);
+  EXPECT_EQ(back.config.scheduler.starvation_age,
+            spec.config.scheduler.starvation_age);
+  EXPECT_EQ(back.config.max_passes_per_tick, spec.config.max_passes_per_tick);
+}
+
+TEST(WireTest, SimResultRoundTripIsBitIdentical) {
+  // A real simulation result, not a synthetic struct: every field class
+  // (records, bills, curves, counters, doubles with full precision) must
+  // survive the wire byte-for-byte.
+  JobSpec spec = sample_spec();
+  spec.trace.source = "sdsc-blue";
+  spec.trace.months = 1;
+  spec.policy.name = "greedy";
+  const sim::SimResult result = execute_job_spec(spec);
+  ASSERT_FALSE(result.records.empty());
+  const sim::SimResult back = decode_result(encode_result(result));
+  EXPECT_TRUE(results_identical(result, back));
+  EXPECT_EQ(back.policy_name, result.policy_name);
+  EXPECT_EQ(back.trace_name, result.trace_name);
+}
+
+TEST(WireTest, ErrorPayloadRoundTrips) {
+  EXPECT_EQ(decode_error(encode_error("bad spec: no such policy")),
+            "bad spec: no such policy");
+  EXPECT_EQ(decode_error(encode_error("")), "");
+}
+
+TEST(WireTest, FrameHeaderRoundTrips) {
+  const std::vector<std::uint8_t> payload = encode_error("x");
+  const auto frame =
+      encode_frame(FrameType::kError, /*task_id=*/12, /*attempt=*/3, payload);
+  ASSERT_GE(frame.size(), kHeaderSize);
+  const FrameHeader h = decode_header(frame.data());
+  EXPECT_EQ(h.type, FrameType::kError);
+  EXPECT_EQ(h.task_id, 12u);
+  EXPECT_EQ(h.attempt, 3u);
+  EXPECT_EQ(h.payload_size, payload.size());
+  EXPECT_TRUE(verify_payload(h, frame.data() + kHeaderSize));
+}
+
+TEST(WireTest, HeaderValidationCatchesEveryCorruptionClass) {
+  const auto payload = encode_error("y");
+  const auto good = encode_frame(FrameType::kError, 0, 0, payload);
+
+  auto corrupt = good;
+  corrupt[0] ^= 0xFF;  // magic
+  EXPECT_THROW(decode_header(corrupt.data()), Error);
+
+  corrupt = good;
+  corrupt[4] ^= 0xFF;  // version
+  EXPECT_THROW(decode_header(corrupt.data()), Error);
+
+  corrupt = good;
+  corrupt[6] = 0x7F;  // unknown frame type
+  EXPECT_THROW(decode_header(corrupt.data()), Error);
+
+  corrupt = good;
+  corrupt[7] = 1;  // reserved byte must be 0
+  EXPECT_THROW(decode_header(corrupt.data()), Error);
+
+  corrupt = good;
+  // payload_size beyond kMaxPayload reads as corruption, not a request
+  // to allocate 4 GB.
+  const std::uint32_t huge = kMaxPayload + 1;
+  std::memcpy(corrupt.data() + 16, &huge, sizeof huge);
+  EXPECT_THROW(decode_header(corrupt.data()), Error);
+}
+
+TEST(WireTest, PayloadCrcCatchesBitFlips) {
+  const auto payload = encode_error("the quick brown fox");
+  auto frame = encode_frame(FrameType::kError, 5, 0, payload);
+  const FrameHeader h = decode_header(frame.data());
+  ASSERT_TRUE(verify_payload(h, frame.data() + kHeaderSize));
+  frame[kHeaderSize + 4] ^= 0x01;  // single bit flip in the payload
+  EXPECT_FALSE(verify_payload(h, frame.data() + kHeaderSize));
+}
+
+TEST(WireTest, FacilityModelSpecsAreRejected) {
+  // Pointers cannot cross the wire; encoding must refuse, not silently
+  // drop the facility model (that would change results).
+  JobSpec spec = sample_spec();
+  const power::ConstantPue facility(1.5);
+  spec.config.facility_model = &facility;
+  EXPECT_THROW(encode_job(spec), Error);
+}
+
+}  // namespace
+}  // namespace esched::run::wire
