@@ -8,6 +8,8 @@
 #include "core/fcfs_policy.hpp"
 #include "core/greedy_policy.hpp"
 #include "core/knapsack_policy.hpp"
+#include "net/distributed.hpp"
+#include "net/socket.hpp"
 #include "power/profile.hpp"
 #include "run/proc.hpp"
 #include "trace/swf.hpp"
@@ -30,6 +32,10 @@ Options parse_options(int argc, const char* const* argv) {
   opt.jobs = static_cast<std::size_t>(args.get_int_or("jobs", 0));
   opt.csv = args.has("csv");
   opt.isolate = args.get_or("isolate", "off");
+  opt.agents = args.get_or("agents", "");
+  if (opt.agents.empty()) {
+    if (const char* env = std::getenv("ESCHED_AGENTS")) opt.agents = env;
+  }
   opt.task_timeout = args.get_double_or("task-timeout", 0.0);
   opt.retries = static_cast<std::size_t>(args.get_int_or("retries", 2));
   opt.trace_out = args.get_or("trace-out", "");
@@ -44,8 +50,15 @@ Options parse_options(int argc, const char* const* argv) {
   // (a zero tick) or with a silently empty window (a zero window).
   ESCHED_REQUIRE(opt.window >= 1, "--window must be >= 1");
   ESCHED_REQUIRE(opt.tick >= 1, "--tick must be >= 1");
-  ESCHED_REQUIRE(opt.isolate == "off" || opt.isolate == "proc",
-                 "--isolate must be \"off\" or \"proc\"");
+  ESCHED_REQUIRE(opt.isolate == "off" || opt.isolate == "proc" ||
+                     opt.isolate == "tcp",
+                 "--isolate must be \"off\", \"proc\" or \"tcp\" (got \"" +
+                     opt.isolate + "\")");
+  // Reject a malformed agent list here, with the flag's name, even when
+  // --isolate=tcp is not (yet) selected: a typo'd address must not hide
+  // until a remote run. parse_agent_list's error names the entry and the
+  // accepted host:port forms.
+  net::parse_agent_list(opt.agents);
   ESCHED_REQUIRE(opt.task_timeout >= 0.0, "--task-timeout must be >= 0");
   // Observability side effects last, after validation can no longer
   // reject the invocation: counters flip on when a metrics sink exists,
@@ -166,10 +179,10 @@ void render_progress(const run::SweepProgress& p) {
   std::fflush(stderr);
 }
 
-/// Why a sweep cannot run under --isolate=proc, or "" when it can.
-/// Facility models and tracers are process-local pointers; a cell built
-/// without make_cell carries no declarative spec at all.
-std::string isolate_blocker(const std::vector<run::SimJob>& sweep) {
+/// Why a sweep's cells cannot cross a process boundary at all, or ""
+/// when they can. Facility models and tracers are process-local
+/// pointers; a cell built without make_cell carries no declarative spec.
+std::string cell_spec_blocker(const std::vector<run::SimJob>& sweep) {
   for (const run::SimJob& job : sweep) {
     if (job.spec == nullptr) {
       return "a cell has no declarative spec (label \"" + job.label +
@@ -179,6 +192,13 @@ std::string isolate_blocker(const std::vector<run::SimJob>& sweep) {
       return "a cell uses a facility model (label \"" + job.label + "\")";
     }
   }
+  return {};
+}
+
+/// Why a sweep cannot run under --isolate=proc, or "" when it can.
+std::string isolate_blocker(const std::vector<run::SimJob>& sweep) {
+  std::string blocker = cell_spec_blocker(sweep);
+  if (!blocker.empty()) return blocker;
   if (!run::SubprocessPool::available()) {
     return "esched-worker binary not found (build target esched-worker "
            "or set ESCHED_WORKER)";
@@ -186,22 +206,43 @@ std::string isolate_blocker(const std::vector<run::SimJob>& sweep) {
   return {};
 }
 
-/// Degradation warning, once per process: --isolate=proc silently doing
-/// nothing would be worse than refusing, and refusing would break every
-/// facility-model bench invoked from a generic script.
-void warn_isolate_unavailable(const std::string& why) {
-  static bool warned = false;
-  if (warned) return;
-  warned = true;
-  std::fprintf(stderr,
-               "esched: --isolate=proc unavailable: %s; running in-process\n",
-               why.c_str());
+/// Why a sweep cannot run under --isolate=tcp, or "" when it can: the
+/// cells must cross a process boundary, at least one agent must be named
+/// (--agents / ESCHED_AGENTS) and at least one must accept a connection.
+std::string tcp_blocker(const std::vector<run::SimJob>& sweep,
+                        const Options& options) {
+  std::string blocker = cell_spec_blocker(sweep);
+  if (!blocker.empty()) return blocker;
+  const std::vector<net::HostPort> agents =
+      net::parse_agent_list(options.agents);
+  if (agents.empty()) {
+    return "no agents configured (pass --agents or set ESCHED_AGENTS)";
+  }
+  if (!net::DistributedPool::any_agent_reachable(agents)) {
+    return "no agent reachable at " + options.agents;
+  }
+  return {};
 }
 
-std::vector<sim::SimResult> run_sweep_proc(
-    const std::vector<run::SimJob>& sweep, const Options& options) {
-  // The SimJob's own config/label are authoritative (a driver may tweak
-  // them after make_cell); only the declarative parts come from the spec.
+/// Degradation warning, once per process and mode: --isolate silently
+/// doing nothing would be worse than refusing, and refusing would break
+/// every facility-model bench invoked from a generic script.
+void warn_isolate_unavailable(const std::string& mode,
+                              const std::string& fallback,
+                              const std::string& why) {
+  static bool warned_proc = false;
+  static bool warned_tcp = false;
+  bool& warned = mode == "tcp" ? warned_tcp : warned_proc;
+  if (warned) return;
+  warned = true;
+  std::fprintf(stderr, "esched: --isolate=%s unavailable: %s; %s\n",
+               mode.c_str(), why.c_str(), fallback.c_str());
+}
+
+/// The declarative sweep the multi-process/distributed pools consume.
+/// The SimJob's own config/label are authoritative (a driver may tweak
+/// them after make_cell); only the declarative parts come from the spec.
+std::vector<run::JobSpec> sweep_specs(const std::vector<run::SimJob>& sweep) {
   std::vector<run::JobSpec> specs;
   specs.reserve(sweep.size());
   for (const run::SimJob& job : sweep) {
@@ -211,6 +252,11 @@ std::vector<sim::SimResult> run_sweep_proc(
     spec.label = job.label;
     specs.push_back(std::move(spec));
   }
+  return specs;
+}
+
+std::vector<sim::SimResult> run_sweep_proc(
+    const std::vector<run::SimJob>& sweep, const Options& options) {
   run::SubprocessPoolConfig cfg;
   cfg.workers = options.jobs;
   cfg.task_timeout_seconds = options.task_timeout;
@@ -218,7 +264,19 @@ std::vector<sim::SimResult> run_sweep_proc(
   run::SubprocessPool pool(cfg);
   pool.set_tracer(options.tracer.get());
   if (options.progress) pool.set_progress(render_progress);
-  return pool.run(specs);
+  return pool.run(sweep_specs(sweep));
+}
+
+std::vector<sim::SimResult> run_sweep_tcp(
+    const std::vector<run::SimJob>& sweep, const Options& options) {
+  net::DistributedPoolConfig cfg;
+  cfg.agents = net::parse_agent_list(options.agents);
+  cfg.task_timeout_seconds = options.task_timeout;
+  cfg.max_attempts = static_cast<std::uint32_t>(options.retries) + 1;
+  net::DistributedPool pool(cfg);
+  pool.set_tracer(options.tracer.get());
+  if (options.progress) pool.set_progress(render_progress);
+  return pool.run(sweep_specs(sweep));
 }
 
 }  // namespace
@@ -264,12 +322,31 @@ std::vector<sim::SimResult> run_sweep(const std::vector<run::SimJob>& sweep,
 std::vector<sim::SimResult> run_sweep(const std::vector<run::SimJob>& sweep,
                                       const Options& options) {
   std::vector<sim::SimResult> results;
+  bool done = false;
+  std::string mode = options.isolate;
   std::string blocker;
-  if (options.isolate == "proc" &&
-      (blocker = isolate_blocker(sweep)).empty()) {
-    results = run_sweep_proc(sweep, options);
-  } else {
-    if (options.isolate == "proc") warn_isolate_unavailable(blocker);
+  if (mode == "tcp") {
+    if ((blocker = tcp_blocker(sweep, options)).empty()) {
+      results = run_sweep_tcp(sweep, options);
+      done = true;
+    } else {
+      // Graceful degradation chain: tcp -> proc -> in-process, each step
+      // warned once. Results are bit-identical in every mode, so a
+      // degraded run is slower, never wrong.
+      warn_isolate_unavailable("tcp", "falling back to --isolate=proc",
+                               blocker);
+      mode = "proc";
+    }
+  }
+  if (!done && mode == "proc") {
+    if ((blocker = isolate_blocker(sweep)).empty()) {
+      results = run_sweep_proc(sweep, options);
+      done = true;
+    } else {
+      warn_isolate_unavailable("proc", "running in-process", blocker);
+    }
+  }
+  if (!done) {
     run::SweepRunner runner(options.jobs);
     runner.set_tracer(options.tracer.get());
     if (options.progress) runner.set_progress(render_progress);

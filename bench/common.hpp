@@ -16,21 +16,30 @@
 //                    hardware_concurrency; results are identical for any J)
 //   --csv            emit CSV instead of ASCII tables
 //
-// Process isolation (src/run/proc; see DESIGN.md §multi-process sweeps):
+// Process isolation (src/run/proc, src/net; see DESIGN.md §multi-process
+// sweeps and §distributed sweeps):
 //   --isolate M        "off" (default): in-process SweepRunner threads.
 //                      "proc": fan cells out to esched-worker subprocesses;
 //                      a crashed or hung worker costs one task attempt,
-//                      not the sweep. Results are bit-identical either
-//                      way. Falls back to in-process (with a stderr
-//                      warning) when the sweep cannot be isolated — cells
-//                      without declarative specs, a facility model, or no
-//                      esched-worker binary next to the bench.
+//                      not the sweep. "tcp": fan cells out to esched-agentd
+//                      daemons over TCP (--agents / ESCHED_AGENTS); a dead
+//                      agent costs one attempt per in-flight cell, not the
+//                      sweep. Results are bit-identical in every mode.
+//                      Degrades with a stderr warning when the requested
+//                      mode cannot run — tcp falls back to proc when no
+//                      agent is reachable, proc to in-process when cells
+//                      carry no declarative specs, use a facility model,
+//                      or no esched-worker binary is found.
+//   --agents LIST      comma-separated agent addresses for --isolate=tcp
+//                      ("host:port", "ip:port" or "[ipv6]:port"); default:
+//                      the ESCHED_AGENTS environment variable
 //   --task-timeout S   per-task wall-clock timeout in seconds under
-//                      --isolate=proc; expiry kills the worker and retries
+//                      --isolate=proc/tcp; expiry kills the worker (proc)
+//                      or resets the agent connection (tcp) and retries
 //                      the cell (0 = no timeout, the default)
-//   --retries N        retry budget per cell under --isolate=proc after
-//                      its first attempt (default 2); exhausting it fails
-//                      the bench naming the cell
+//   --retries N        retry budget per cell under --isolate=proc/tcp
+//                      after its first attempt (default 2); exhausting it
+//                      fails the bench naming the cell
 //
 // Observability (src/obs; all off by default, see DESIGN.md §obs):
 //   --trace-out F    write a Chrome trace_event JSON to F and a JSONL
@@ -77,7 +86,10 @@ struct Options {
   std::size_t window = 20;
   std::size_t jobs = 0;  ///< sweep parallelism; 0 = runner default
   bool csv = false;
-  std::string isolate = "off";  ///< --isolate: "off" | "proc"
+  std::string isolate = "off";  ///< --isolate: "off" | "proc" | "tcp"
+  /// --agents (default: ESCHED_AGENTS): comma-separated host:port agent
+  /// list for --isolate=tcp. Validated at parse time; empty = none.
+  std::string agents;
   double task_timeout = 0.0;    ///< --task-timeout seconds; 0 = none
   std::size_t retries = 2;      ///< --retries per cell (attempts - 1)
   std::string trace_out;    ///< --trace-out / ESCHED_TRACE; empty = off

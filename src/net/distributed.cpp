@@ -1,0 +1,785 @@
+#include "net/distributed.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+
+#include "net/frame_io.hpp"
+#include "net/protocol.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
+#include "run/endpoint.hpp"
+#include "run/wire.hpp"
+#include "util/error.hpp"
+
+namespace esched::net {
+
+namespace {
+
+using Clock = run::EndpointClock;
+namespace wire = run::wire;
+
+/// Remote-cell / connection-lifetime spans go on tracks 2000+agent so
+/// they collide neither with in-process worker tracks nor with the
+/// subprocess pool's 1000+slot tracks.
+constexpr std::uint32_t kTrackBase = 2000;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void bump(const char* name) {
+  if (!obs::counters_enabled()) return;
+  obs::Registry::global().counter(name).add();
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", s);
+  return buf;
+}
+
+/// One remote agent and the coordinator's view of it: connection state
+/// machine, per-slot in-flight bookkeeping (shared run::Endpoint), and
+/// heartbeat/backoff clocks.
+struct Agent {
+  enum class State {
+    kBackoff,      ///< waiting for retry_at before (re)connecting
+    kConnecting,   ///< TCP connect in flight (poll for POLLOUT)
+    kHandshaking,  ///< kHello sent, waiting for kWelcome
+    kReady,        ///< handshake done; jobs and heartbeats flow
+    kFailed,       ///< abandoned for the rest of the run
+  };
+
+  HostPort addr;
+  State state = State::kBackoff;
+  std::optional<FrameConn> conn;
+  std::vector<run::Endpoint> slots;  ///< sized by the kWelcome slot count
+
+  Clock::time_point retry_at{};          ///< kBackoff: next connect time
+  Clock::time_point connect_deadline{};  ///< kConnecting/kHandshaking
+  Clock::time_point connected_at{};      ///< kReady: for lifetime spans
+  double backoff_seconds = 0.0;
+  std::uint32_t connects_left = 0;
+  bool ever_connected = false;
+
+  Clock::time_point next_ping{};
+  std::uint32_t ping_seq = 0;
+  std::uint32_t pings_unanswered = 0;
+
+  std::string last_error = "never attempted";
+
+  bool connected() const {
+    return state == State::kHandshaking || state == State::kReady;
+  }
+  std::size_t busy_count() const {
+    std::size_t n = 0;
+    for (const run::Endpoint& ep : slots) {
+      if (ep.busy()) ++n;
+    }
+    return n;
+  }
+};
+
+/// The single-run coordinator state machine, the TCP sibling of the
+/// Supervisor in run/proc.cpp. Every socket is owned by an Agent's
+/// FrameConn, so unwinding (budget exhaustion, kError fail-fast) closes
+/// all connections via RAII — the agents then discard orphaned work.
+class Coordinator {
+ public:
+  Coordinator(const DistributedPoolConfig& config,
+              const std::vector<run::JobSpec>& sweep, run::SweepStats& stats,
+              const run::ProgressCallback& progress, obs::Tracer* tracer)
+      : config_(config),
+        sweep_(sweep),
+        stats_(stats),
+        progress_(progress),
+        tracer_(tracer) {}
+
+  std::vector<sim::SimResult> run() {
+    const std::size_t n = sweep_.size();
+    results_.resize(n);
+    payloads_.reserve(n);
+    for (const run::JobSpec& spec : sweep_) {
+      payloads_.push_back(wire::encode_job(spec));  // throws on bad spec
+    }
+    wall_start_ = Clock::now();
+    run::RetryPolicy retry;
+    retry.max_attempts = config_.max_attempts;
+    retry.backoff_initial_seconds = config_.backoff_initial_seconds;
+    retry.backoff_max_seconds = config_.backoff_max_seconds;
+    ledger_.emplace(sweep_, retry, wall_start_);
+
+    agents_.resize(config_.agents.size());
+    stats_.worker_busy_seconds.assign(agents_.size(), 0.0);
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      agents_[i].addr = config_.agents[i];
+      agents_[i].retry_at = wall_start_;  // connect immediately
+      agents_[i].backoff_seconds = config_.reconnect_initial_seconds;
+      agents_[i].connects_left = config_.connect_attempts;
+    }
+
+    while (!ledger_->all_done()) step();
+
+    disconnect_all();
+    stats_.wall_seconds = seconds_since(wall_start_);
+    finalize_task_stats();
+    std::vector<sim::SimResult> out;
+    out.reserve(n);
+    for (sim::SimResult& r : results_) out.push_back(std::move(r));
+    return out;
+  }
+
+  /// Close every connection (graceful or not — TCP has no distinction the
+  /// agent cares about; it drops orphaned work on EOF). Never throws.
+  void disconnect_all() noexcept {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      Agent& a = agents_[i];
+      if (a.state == Agent::State::kReady) emit_connection_span(i, now);
+      a.conn.reset();
+    }
+  }
+
+ private:
+  // ---- connection lifecycle -------------------------------------------
+
+  void start_connect(std::size_t index, Clock::time_point now) {
+    Agent& a = agents_[index];
+    std::string error;
+    Fd fd = connect_tcp_start(a.addr, error);
+    if (!fd.valid()) {
+      connect_failure(index, error, now);
+      return;
+    }
+    a.conn.emplace(std::move(fd));
+    a.state = Agent::State::kConnecting;
+    a.connect_deadline =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(config_.connect_timeout_seconds));
+  }
+
+  void on_connect_writable(std::size_t index, Clock::time_point now) {
+    Agent& a = agents_[index];
+    std::string error;
+    if (!connect_tcp_finish(a.conn->fd(), error)) {
+      connect_failure(index, error, now);
+      return;
+    }
+    Hello hello;
+    hello.protocol = kNetProtocolVersion;
+    if (!a.conn->send(wire::encode_frame(wire::FrameType::kHello, 0, 0,
+                                         encode_hello(hello)))) {
+      connect_failure(index, "send failed during handshake", now);
+      return;
+    }
+    a.state = Agent::State::kHandshaking;  // connect_deadline still armed
+  }
+
+  void on_welcome(std::size_t index, const Welcome& welcome,
+                  Clock::time_point now) {
+    Agent& a = agents_[index];
+    if (welcome.protocol != kNetProtocolVersion) {
+      agent_fatal(index,
+                  "protocol version mismatch (coordinator=" +
+                      std::to_string(kNetProtocolVersion) +
+                      ", agent=" + std::to_string(welcome.protocol) + ")");
+      return;
+    }
+    const std::uint32_t slots = std::max<std::uint32_t>(1, welcome.slots);
+    a.state = Agent::State::kReady;
+    a.slots.assign(slots, run::Endpoint{});
+    a.connected_at = now;
+    a.backoff_seconds = config_.reconnect_initial_seconds;
+    a.connects_left = config_.connect_attempts;
+    a.ping_seq = 0;
+    a.pings_unanswered = 0;
+    a.next_ping =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(config_.heartbeat_interval_seconds));
+    bump("net.connects");
+    if (a.ever_connected) bump("net.reconnects");
+    a.ever_connected = true;
+    recompute_slot_total();
+  }
+
+  /// A connect attempt failed before the handshake completed: back off,
+  /// or abandon the agent once its consecutive-connect budget is spent.
+  void connect_failure(std::size_t index, const std::string& error,
+                       Clock::time_point now) {
+    Agent& a = agents_[index];
+    a.conn.reset();
+    a.last_error = error;
+    if (a.connects_left > 0) --a.connects_left;
+    if (a.connects_left == 0) {
+      a.state = Agent::State::kFailed;
+      return;
+    }
+    a.state = Agent::State::kBackoff;
+    a.retry_at = now + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(a.backoff_seconds));
+    a.backoff_seconds =
+        std::min(config_.reconnect_max_seconds, a.backoff_seconds * 2.0);
+  }
+
+  /// Permanent, non-retryable rejection (version mismatch, kError during
+  /// handshake): the agent will never accept us, so don't keep knocking.
+  void agent_fatal(std::size_t index, const std::string& error) {
+    Agent& a = agents_[index];
+    a.conn.reset();
+    a.last_error = error;
+    a.state = Agent::State::kFailed;
+  }
+
+  /// An established connection died (`reason`): requeue every in-flight
+  /// cell onto the surviving agents and schedule a reconnect. Throws when
+  /// a requeued cell exhausts its attempt budget.
+  void connection_lost(std::size_t index, const std::string& reason,
+                       Clock::time_point now) {
+    Agent& a = agents_[index];
+    emit_connection_span(index, now);
+    a.conn.reset();
+    a.last_error = reason;
+    a.state = Agent::State::kBackoff;
+    a.retry_at = now + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(a.backoff_seconds));
+    a.backoff_seconds =
+        std::min(config_.reconnect_max_seconds, a.backoff_seconds * 2.0);
+    recompute_slot_total();
+    for (run::Endpoint& ep : a.slots) {
+      if (!ep.busy()) continue;
+      const std::size_t task = ep.task;
+      ep.clear();
+      bump("net.cells_requeued");
+      ledger_->fail_attempt(task, reason, now);  // throws on budget
+    }
+    a.slots.clear();
+  }
+
+  void emit_connection_span(std::size_t index, Clock::time_point now) {
+    Agent& a = agents_[index];
+    if (a.state != Agent::State::kReady || tracer_ == nullptr ||
+        !tracer_->enabled()) {
+      return;
+    }
+    tracer_->complete_span("agent:" + a.addr.text(), "net", a.connected_at,
+                           now, kTrackBase + static_cast<std::uint32_t>(index));
+  }
+
+  /// stats_.threads = slot total over *currently usable* agents, floored
+  /// by the largest total seen (an agent dying mid-sweep doesn't erase
+  /// that its slots did real work).
+  void recompute_slot_total() {
+    std::size_t total = 0;
+    for (const Agent& a : agents_) {
+      if (a.state == Agent::State::kReady) total += a.slots.size();
+    }
+    stats_.threads = std::max(stats_.threads, total);
+  }
+
+  // ---- dispatch -------------------------------------------------------
+
+  void assign_ready(Clock::time_point now) {
+    for (std::size_t i = 0; i < agents_.size() && ledger_->has_pending();
+         ++i) {
+      Agent& a = agents_[i];
+      if (a.state != Agent::State::kReady) continue;
+      for (run::Endpoint& ep : a.slots) {
+        if (ep.busy()) continue;
+        if (!ledger_->has_pending()) break;
+        const std::size_t task = ledger_->claim_ready(now);
+        if (task == run::kNoTask) return;  // all gated on backoff
+        const std::uint32_t attempt = ledger_->begin_attempt(task);
+        ep.begin(task, attempt, now, config_.task_timeout_seconds);
+        if (!a.conn->send(wire::encode_frame(
+                wire::FrameType::kJob, static_cast<std::uint32_t>(task),
+                attempt, payloads_[task]))) {
+          connection_lost(i, "agent " + a.addr.text() +
+                                 ": send failed (connection lost)",
+                          now);
+          break;  // a.slots is gone; next agent
+        }
+      }
+    }
+  }
+
+  // ---- the poll loop --------------------------------------------------
+
+  void step() {
+    Clock::time_point now = Clock::now();
+
+    // Drive per-agent clocks: backoff expiry, connect/handshake deadlines.
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      Agent& a = agents_[i];
+      if (a.state == Agent::State::kBackoff && now >= a.retry_at) {
+        start_connect(i, now);
+      } else if ((a.state == Agent::State::kConnecting ||
+                  a.state == Agent::State::kHandshaking) &&
+                 now >= a.connect_deadline) {
+        connect_failure(i,
+                        a.state == Agent::State::kConnecting
+                            ? "connect timed out"
+                            : "handshake timed out",
+                        now);
+      }
+    }
+
+    throw_if_no_usable_agents();
+    assign_ready(now);
+
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> indices;
+    fds.reserve(agents_.size());
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      Agent& a = agents_[i];
+      if (a.state == Agent::State::kConnecting) {
+        fds.push_back({a.conn->fd(), POLLOUT, 0});
+      } else if (a.connected()) {
+        const short events =
+            static_cast<short>(POLLIN | (a.conn->wants_write() ? POLLOUT : 0));
+        fds.push_back({a.conn->fd(), events, 0});
+      } else {
+        continue;
+      }
+      indices.push_back(i);
+    }
+
+    const int timeout_ms = next_timeout_ms(now);
+    const int rc = ::poll(fds.empty() ? nullptr : fds.data(),
+                          static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      throw Error("DistributedPool: poll failed: " +
+                  std::string(std::strerror(errno)));
+    }
+    if (rc > 0) {
+      for (std::size_t k = 0; k < fds.size(); ++k) {
+        const std::size_t i = indices[k];
+        Agent& a = agents_[i];
+        now = Clock::now();
+        if (a.state == Agent::State::kConnecting) {
+          if ((fds[k].revents & (POLLOUT | POLLHUP | POLLERR)) != 0) {
+            on_connect_writable(i, now);
+          }
+          continue;
+        }
+        if (!a.connected()) continue;  // state changed by an earlier event
+        if ((fds[k].revents & POLLOUT) != 0 && !a.conn->flush()) {
+          connection_lost(
+              i, "agent " + a.addr.text() + ": send failed (connection lost)",
+              now);
+          continue;
+        }
+        if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          on_readable(i, now);
+        }
+        if (ledger_->all_done()) return;
+      }
+    }
+
+    // Deadlines and heartbeats, after any answers that beat the clock.
+    now = Clock::now();
+    check_task_deadlines(now);
+    check_heartbeats(now);
+  }
+
+  /// Nearest of: connect deadlines, reconnect times, task deadlines,
+  /// heartbeat ticks, backoff ready-times. Never -1: a coordinator always
+  /// has a clock to watch (capped at 60 s like the subprocess pool).
+  int next_timeout_ms(Clock::time_point now) const {
+    bool have = false;
+    Clock::time_point nearest{};
+    const auto consider = [&](Clock::time_point tp) {
+      if (!have || tp < nearest) {
+        nearest = tp;
+        have = true;
+      }
+    };
+    for (const Agent& a : agents_) {
+      switch (a.state) {
+        case Agent::State::kBackoff:
+          consider(a.retry_at);
+          break;
+        case Agent::State::kConnecting:
+        case Agent::State::kHandshaking:
+          consider(a.connect_deadline);
+          break;
+        case Agent::State::kReady:
+          consider(a.next_ping);
+          for (const run::Endpoint& ep : a.slots) {
+            if (ep.busy() && ep.has_deadline) consider(ep.deadline);
+          }
+          break;
+        case Agent::State::kFailed:
+          break;
+      }
+    }
+    Clock::time_point ready{};
+    if (ledger_->next_ready_at(ready)) consider(ready);
+    if (!have) return 60000;
+    const double sec = std::chrono::duration<double>(nearest - now).count();
+    if (sec <= 0.0) return 0;
+    const double ms = std::ceil(sec * 1000.0);
+    return ms > 60000.0 ? 60000 : static_cast<int>(ms);
+  }
+
+  void check_task_deadlines(Clock::time_point now) {
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      Agent& a = agents_[i];
+      if (a.state != Agent::State::kReady) continue;
+      bool expired = false;
+      for (run::Endpoint& ep : a.slots) {
+        if (!ep.deadline_expired(now)) continue;
+        expired = true;
+        // The timed-out cell gets its own diagnosis; the connection reset
+        // below requeues its siblings with a collateral reason.
+        const std::size_t task = ep.task;
+        ep.clear();
+        bump("net.cells_requeued");
+        ledger_->fail_attempt(
+            task,
+            "timed out after " +
+                format_seconds(config_.task_timeout_seconds) + "s on agent " +
+                a.addr.text(),
+            now);
+      }
+      if (expired) {
+        // A cell can't be killed remotely: retire the whole connection
+        // (the agent drops orphaned results on EOF) and reconnect.
+        connection_lost(i,
+                        "agent " + a.addr.text() +
+                            ": connection reset after a task timeout",
+                        now);
+      }
+    }
+  }
+
+  void check_heartbeats(Clock::time_point now) {
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      Agent& a = agents_[i];
+      if (a.state != Agent::State::kReady || now < a.next_ping) continue;
+      if (a.pings_unanswered >= config_.heartbeat_misses) {
+        connection_lost(i,
+                        "agent " + a.addr.text() + ": missed " +
+                            std::to_string(a.pings_unanswered) +
+                            " heartbeats",
+                        now);
+        continue;
+      }
+      if (a.pings_unanswered > 0) bump("net.heartbeats_missed");
+      if (!a.conn->send(wire::encode_frame(wire::FrameType::kPing,
+                                           a.ping_seq++, 0, {}))) {
+        connection_lost(
+            i, "agent " + a.addr.text() + ": send failed (connection lost)",
+            now);
+        continue;
+      }
+      ++a.pings_unanswered;
+      a.next_ping =
+          now + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        config_.heartbeat_interval_seconds));
+    }
+  }
+
+  // ---- inbound frames -------------------------------------------------
+
+  void on_readable(std::size_t index, Clock::time_point now) {
+    Agent& a = agents_[index];
+    const FrameConn::ReadStatus status = a.conn->fill();
+    if (status == FrameConn::ReadStatus::kError) {
+      connection_lost(index,
+                      "agent " + a.addr.text() + ": read failed (" +
+                          std::string(std::strerror(errno)) + ")",
+                      now);
+      return;
+    }
+    process_frames(index, now);
+    if (!a.connected()) return;  // a frame retired the connection
+    if (status == FrameConn::ReadStatus::kClosed) {
+      if (a.state == Agent::State::kHandshaking) {
+        // Rejected during handshake with no kError frame — treat like a
+        // failed connect (counts against the connect budget).
+        connect_failure(index, "agent closed connection during handshake",
+                        now);
+      } else {
+        connection_lost(index,
+                        "agent " + a.addr.text() + ": closed connection" +
+                            (a.conn->frames().mid_frame() ? " mid-frame" : ""),
+                        now);
+      }
+    }
+  }
+
+  void process_frames(std::size_t index, Clock::time_point now) {
+    Agent& a = agents_[index];
+    while (a.connected()) {
+      wire::FrameHeader header;
+      std::vector<std::uint8_t> body;
+      std::string corrupt;
+      const run::FrameAssembler::Status status =
+          a.conn->frames().next(header, body, corrupt);
+      if (status == run::FrameAssembler::Status::kNeedMore) return;
+      if (status == run::FrameAssembler::Status::kCorrupt) {
+        connection_lost(index,
+                        "agent " + a.addr.text() + ": protocol corruption (" +
+                            corrupt + ")",
+                        now);
+        return;
+      }
+      if (a.state == Agent::State::kHandshaking) {
+        on_handshake_frame(index, header, body, now);
+      } else {
+        on_session_frame(index, header, body, now);
+      }
+    }
+  }
+
+  void on_handshake_frame(std::size_t index, const wire::FrameHeader& header,
+                          const std::vector<std::uint8_t>& body,
+                          Clock::time_point now) {
+    Agent& a = agents_[index];
+    if (header.type == wire::FrameType::kError) {
+      std::string message;
+      try {
+        message = wire::decode_error(body);
+      } catch (const Error&) {
+        message = "(undecodable error payload)";
+      }
+      // The agent refused the handshake (version mismatch): permanent.
+      agent_fatal(index, "agent " + a.addr.text() + " rejected handshake: " +
+                             message);
+      return;
+    }
+    if (header.type != wire::FrameType::kWelcome) {
+      connection_lost(index,
+                      "agent " + a.addr.text() +
+                          ": unexpected frame before kWelcome",
+                      now);
+      return;
+    }
+    Welcome welcome;
+    try {
+      welcome = decode_welcome(body);
+    } catch (const Error& e) {
+      connection_lost(index,
+                      "agent " + a.addr.text() + ": protocol corruption (" +
+                          std::string(e.what()) + ")",
+                      now);
+      return;
+    }
+    on_welcome(index, welcome, now);
+  }
+
+  void on_session_frame(std::size_t index, const wire::FrameHeader& header,
+                        const std::vector<std::uint8_t>& body,
+                        Clock::time_point now) {
+    Agent& a = agents_[index];
+    if (header.type == wire::FrameType::kPong) {
+      a.pings_unanswered = 0;
+      return;
+    }
+    run::Endpoint* ep = find_endpoint(a, header);
+    if (ep == nullptr) {
+      connection_lost(index,
+                      "agent " + a.addr.text() +
+                          ": answer for a task this agent does not hold",
+                      now);
+      return;
+    }
+    switch (header.type) {
+      case wire::FrameType::kResult: {
+        sim::SimResult result;
+        try {
+          result = wire::decode_result(body);
+        } catch (const Error& e) {
+          connection_lost(index,
+                          "agent " + a.addr.text() +
+                              ": protocol corruption (" +
+                              std::string(e.what()) + ")",
+                          now);
+          return;
+        }
+        complete(index, *ep, std::move(result), now);
+        return;
+      }
+      case wire::FrameType::kError: {
+        std::string message;
+        try {
+          message = wire::decode_error(body);
+        } catch (const Error&) {
+          message = "(undecodable error payload)";
+        }
+        // Deterministic failure: retrying reruns the same deterministic
+        // simulation on another agent — fail the sweep fast.
+        ledger_->fail_deterministic(ep->task, message);
+      }
+      case wire::FrameType::kFail: {
+        std::string reason;
+        try {
+          reason = wire::decode_error(body);
+        } catch (const Error&) {
+          reason = "(undecodable failure payload)";
+        }
+        // Transient failure at the agent (its worker died): requeue this
+        // attempt only; the connection stays up.
+        const std::size_t task = ep->task;
+        ep->clear();
+        bump("net.cells_requeued");
+        ledger_->fail_attempt(
+            task, "agent " + a.addr.text() + ": " + reason, now);
+        return;
+      }
+      default:
+        connection_lost(index,
+                        "agent " + a.addr.text() +
+                            ": unexpected frame type in session",
+                        now);
+        return;
+    }
+  }
+
+  run::Endpoint* find_endpoint(Agent& agent, const wire::FrameHeader& header) {
+    for (run::Endpoint& ep : agent.slots) {
+      if (ep.busy() && ep.task == header.task_id &&
+          ep.attempt == header.attempt) {
+        return &ep;
+      }
+    }
+    return nullptr;
+  }
+
+  void complete(std::size_t index, run::Endpoint& ep, sim::SimResult result,
+                Clock::time_point now) {
+    const std::size_t task = ep.task;
+    const double seconds =
+        std::chrono::duration<double>(now - ep.dispatched).count();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->complete_span(
+          "cell:" +
+              (sweep_[task].label.empty() ? std::to_string(task)
+                                          : sweep_[task].label) +
+              "#" + std::to_string(ep.attempt),
+          "net", ep.dispatched, now,
+          kTrackBase + static_cast<std::uint32_t>(index));
+    }
+    ep.clear();
+    results_[task] = std::move(result);
+    ledger_->complete(task);
+    task_seconds_.push_back(seconds);
+    stats_.worker_busy_seconds[index] += seconds;
+    if (progress_) {
+      run::SweepProgress p;
+      p.done = ledger_->done_count();
+      p.total = sweep_.size();
+      p.elapsed_seconds = seconds_since(wall_start_);
+      p.eta_seconds = p.elapsed_seconds / static_cast<double>(p.done) *
+                      static_cast<double>(p.total - p.done);
+      progress_(p);
+    }
+  }
+
+  // ---- termination ----------------------------------------------------
+
+  void throw_if_no_usable_agents() const {
+    for (const Agent& a : agents_) {
+      if (a.state != Agent::State::kFailed) return;
+    }
+    std::string detail;
+    for (const Agent& a : agents_) {
+      if (!detail.empty()) detail += "; ";
+      detail += a.addr.text() + ": " + a.last_error;
+    }
+    throw Error("DistributedPool: no usable agents remain (" + detail + ")");
+  }
+
+  void finalize_task_stats() {
+    stats_.tasks = sweep_.size();
+    if (task_seconds_.empty()) return;
+    stats_.task_min_seconds = task_seconds_.front();
+    stats_.task_max_seconds = task_seconds_.front();
+    for (const double s : task_seconds_) {
+      stats_.cpu_seconds += s;
+      stats_.task_min_seconds = std::min(stats_.task_min_seconds, s);
+      stats_.task_max_seconds = std::max(stats_.task_max_seconds, s);
+    }
+    stats_.task_mean_seconds =
+        stats_.cpu_seconds / static_cast<double>(task_seconds_.size());
+  }
+
+  const DistributedPoolConfig& config_;
+  const std::vector<run::JobSpec>& sweep_;
+  run::SweepStats& stats_;
+  const run::ProgressCallback& progress_;
+  obs::Tracer* tracer_;
+
+  std::vector<Agent> agents_;
+  std::optional<run::TaskLedger> ledger_;
+  std::vector<std::vector<std::uint8_t>> payloads_;
+  std::vector<sim::SimResult> results_;
+  std::vector<double> task_seconds_;
+  Clock::time_point wall_start_{};
+};
+
+}  // namespace
+
+DistributedPool::DistributedPool(DistributedPoolConfig config)
+    : config_(std::move(config)) {
+  ESCHED_REQUIRE(config_.max_attempts >= 1,
+                 "DistributedPool: max_attempts must be >= 1");
+}
+
+std::vector<HostPort> DistributedPool::agents_from_env() {
+  const char* env = std::getenv("ESCHED_AGENTS");
+  if (env == nullptr) return {};
+  return parse_agent_list(env);
+}
+
+bool DistributedPool::any_agent_reachable(const std::vector<HostPort>& agents,
+                                          double timeout_seconds) {
+  for (const HostPort& addr : agents) {
+    std::string error;
+    Fd fd = connect_tcp_start(addr, error);
+    if (!fd.valid()) continue;
+    struct pollfd pfd = {fd.get(), POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(
+        std::ceil(std::max(0.0, timeout_seconds) * 1000.0));
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc <= 0) continue;  // timeout or error: try the next agent
+    if (connect_tcp_finish(fd.get(), error)) return true;
+  }
+  return false;
+}
+
+std::vector<sim::SimResult> DistributedPool::run(
+    const std::vector<run::JobSpec>& sweep) {
+  stats_ = run::SweepStats{};
+  stats_.tasks = sweep.size();
+  if (sweep.empty()) return {};
+  ESCHED_REQUIRE(!config_.agents.empty(),
+                 "DistributedPool: no agents configured (pass "
+                 "DistributedPoolConfig::agents or set ESCHED_AGENTS)");
+
+  run::SigpipeGuard sigpipe;
+  Coordinator coordinator(config_, sweep, stats_, progress_, tracer_);
+  try {
+    return coordinator.run();
+  } catch (...) {
+    // Any failure — budget exhaustion, deterministic kError, a throwing
+    // progress callback — closes every connection before propagating; the
+    // agents discard orphaned work on EOF.
+    coordinator.disconnect_all();
+    throw;
+  }
+}
+
+}  // namespace esched::net

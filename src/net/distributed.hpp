@@ -1,0 +1,131 @@
+// The multi-machine twin of run::SubprocessPool: fan sweep cells out to
+// esched-agentd processes over TCP.
+//
+// One DistributedPool drives N agents from a single-threaded poll()
+// loop, exactly like the subprocess supervisor drives worker pipes — no
+// locks, no signal handlers (SIGPIPE ignored for the duration of run()).
+// The failure model *is* the supervisor's, extended for a transport that
+// can lie in more ways, and shares its implementation (run/endpoint.hpp:
+// TaskLedger, FrameAssembler, Endpoint) rather than duplicating it:
+//
+//  * Agent death — EOF, read/write errors, a failed reconnect — requeues
+//    every in-flight cell of that agent onto the surviving ones, then
+//    reconnects with capped exponential backoff; an agent that fails
+//    `connect_attempts` consecutive connects is abandoned. The sweep
+//    fails only when *no* usable agent remains.
+//  * Heartbeats — kPing every heartbeat_interval_seconds; an agent that
+//    leaves `heartbeat_misses` pings unanswered is declared dead even if
+//    the TCP connection still looks open (half-open connections, frozen
+//    agents).
+//  * Per-task wall-clock timeouts — a cell can't be killed remotely, so
+//    an expired deadline retires the whole connection: requeue, close,
+//    reconnect (the agent drops orphaned results on its side).
+//  * Protocol corruption (bad frame, CRC mismatch, an answer for a task
+//    the agent doesn't hold) retires the connection the same way.
+//  * kFail frames (transient failure at the agent, e.g. its esched-worker
+//    died) requeue just that attempt; kError frames are deterministic
+//    failures and fail the sweep fast, exactly like the subprocess pool.
+//
+// Determinism: cells are rebuilt from declarative JobSpecs by whichever
+// agent runs them, results are stored by submission index, and retried
+// attempts rerun the same deterministic simulation — so a TCP sweep is
+// bit-identical (results_identical) to the in-process 1-thread
+// reference, including when agents are SIGKILLed mid-sweep
+// (distributed_test and the distributed-determinism CI job pin this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "run/spec.hpp"
+#include "run/sweep.hpp"
+#include "sim/result.hpp"
+
+namespace esched::obs {
+class Tracer;
+}  // namespace esched::obs
+
+namespace esched::net {
+
+/// Coordinator knobs. The defaults match the bench CLI defaults
+/// (bench/common.cpp) so drivers and tests agree on behaviour.
+struct DistributedPoolConfig {
+  /// Agent addresses (host:port). Must be non-empty for run().
+  std::vector<HostPort> agents;
+  /// Attempt budget per task (first run + retries). Must be >= 1.
+  std::uint32_t max_attempts = 3;
+  /// Backoff before retry k (1-based) is
+  /// min(backoff_max_seconds, backoff_initial_seconds * 2^(k-1)).
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  /// Per-task wall-clock timeout; expiry retires the agent connection
+  /// and requeues its in-flight cells. 0 disables the timeout.
+  double task_timeout_seconds = 0.0;
+  /// TCP connect + handshake deadline per attempt.
+  double connect_timeout_seconds = 5.0;
+  /// kPing cadence per connected agent.
+  double heartbeat_interval_seconds = 1.0;
+  /// Unanswered pings before the agent is declared dead.
+  std::uint32_t heartbeat_misses = 3;
+  /// Reconnect backoff: initial delay, doubled per consecutive failure,
+  /// capped at the max.
+  double reconnect_initial_seconds = 0.1;
+  double reconnect_max_seconds = 2.0;
+  /// Consecutive failed connect attempts before an agent is abandoned
+  /// for the rest of the run (a successful handshake resets the count).
+  std::uint32_t connect_attempts = 5;
+};
+
+/// The TCP twin of SubprocessPool. One instance may run() multiple
+/// sweeps; connections are opened per run and closed before run returns.
+class DistributedPool {
+ public:
+  explicit DistributedPool(DistributedPoolConfig config);
+
+  /// Agents named by the ESCHED_AGENTS environment variable
+  /// (comma-separated host:port list; empty/unset = none). Throws
+  /// esched::Error on malformed entries, naming the accepted forms.
+  static std::vector<HostPort> agents_from_env();
+
+  /// True when at least one agent accepts a TCP connection within
+  /// `timeout_seconds` (per agent). The cheap reachability probe behind
+  /// bench/common's graceful fallback; no handshake is performed.
+  static bool any_agent_reachable(const std::vector<HostPort>& agents,
+                                  double timeout_seconds = 0.5);
+
+  /// Execute every spec; results in submission order, bit-identical to
+  /// the in-process reference. Throws esched::Error when a cell exhausts
+  /// its attempt budget, when an agent reports a deterministic kError,
+  /// or when no usable agent remains. All connections are closed before
+  /// any throw.
+  std::vector<sim::SimResult> run(const std::vector<run::JobSpec>& sweep);
+
+  /// Counters from the most recent run(). threads is the slot total
+  /// across agents that completed a handshake; worker_busy_seconds is
+  /// indexed by agent (coordinator-observed round-trip times of
+  /// successful attempts).
+  const run::SweepStats& last_stats() const { return stats_; }
+
+  /// Same contract as SweepRunner::set_progress; calls arrive on the
+  /// coordinating thread.
+  void set_progress(run::ProgressCallback callback) {
+    progress_ = std::move(callback);
+  }
+
+  /// Optional tracer: one track per agent (2000 + agent index) carrying
+  /// a complete span per remote cell round-trip and per connection
+  /// lifetime. Non-owning; must outlive run().
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  const DistributedPoolConfig& config() const { return config_; }
+
+ private:
+  DistributedPoolConfig config_;
+  run::SweepStats stats_;
+  run::ProgressCallback progress_;
+  obs::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace esched::net

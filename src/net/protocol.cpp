@@ -1,0 +1,43 @@
+#include "net/protocol.hpp"
+
+#include "util/error.hpp"
+
+namespace esched::net {
+
+std::vector<std::uint8_t> encode_hello(const Hello& hello) {
+  run::wire::ByteWriter w;
+  w.u32(kNetMagic);
+  w.u32(hello.protocol);
+  return w.take();
+}
+
+Hello decode_hello(const std::vector<std::uint8_t>& payload) {
+  run::wire::ByteReader r(payload);
+  const std::uint32_t magic = r.u32();
+  if (magic != kNetMagic) {
+    throw Error("net: bad hello magic 0x" + std::to_string(magic) +
+                " (not an esched coordinator)");
+  }
+  Hello hello;
+  hello.protocol = r.u32();
+  r.expect_end();
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_welcome(const Welcome& welcome) {
+  run::wire::ByteWriter w;
+  w.u32(welcome.protocol);
+  w.u32(welcome.slots);
+  return w.take();
+}
+
+Welcome decode_welcome(const std::vector<std::uint8_t>& payload) {
+  run::wire::ByteReader r(payload);
+  Welcome welcome;
+  welcome.protocol = r.u32();
+  welcome.slots = r.u32();
+  r.expect_end();
+  return welcome;
+}
+
+}  // namespace esched::net

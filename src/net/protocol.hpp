@@ -1,0 +1,58 @@
+// The TCP session protocol between a DistributedPool coordinator and
+// esched-agentd, layered on the run/wire frame grammar.
+//
+// Session establishment (before any kJob may flow):
+//
+//   coordinator                         agentd
+//       | ---- kHello {net magic, proto} ---> |
+//       | <--- kWelcome {proto, slots} ------ |   versions match
+//       | <--- kError "…version…" + close --- |   versions differ
+//
+// The kHello payload leads with its own magic ("ESN1") so an agentd port
+// probed by a non-esched client fails the handshake loudly instead of
+// being interpreted as a job stream. kNetProtocolVersion covers the
+// *session* semantics (handshake, heartbeats, kFail) and is checked by
+// both sides; the frame-level wire::kVersion is checked per frame as
+// always.
+//
+// After the handshake: the coordinator sends kJob frames (at most
+// `slots` in flight) and kPing heartbeats (task_id carries a sequence
+// number the kPong echoes); the agent answers kResult (success), kError
+// (deterministic failure — coordinator fails fast), or kFail (transient
+// failure at the agent, e.g. its esched-worker died — coordinator
+// requeues the attempt). Either side closing the socket ends the
+// session; the coordinator requeues every in-flight cell of a dead
+// session.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "run/wire.hpp"
+
+namespace esched::net {
+
+/// "ESN1": the first payload word of every kHello.
+inline constexpr std::uint32_t kNetMagic = 0x45534e31u;
+
+/// Session protocol version; bumped when handshake/heartbeat/kFail
+/// semantics change incompatibly.
+inline constexpr std::uint32_t kNetProtocolVersion = 1;
+
+struct Hello {
+  std::uint32_t protocol = kNetProtocolVersion;
+};
+
+struct Welcome {
+  std::uint32_t protocol = kNetProtocolVersion;
+  std::uint32_t slots = 0;  ///< concurrent kJob frames the agent accepts
+};
+
+/// Payload codecs (throw esched::Error on malformed payloads, like every
+/// wire codec; decode_hello additionally rejects a bad net magic).
+std::vector<std::uint8_t> encode_hello(const Hello& hello);
+Hello decode_hello(const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> encode_welcome(const Welcome& welcome);
+Welcome decode_welcome(const std::vector<std::uint8_t>& payload);
+
+}  // namespace esched::net

@@ -1,0 +1,256 @@
+#include "run/endpoint.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace esched::run {
+
+FrameAssembler::Status FrameAssembler::next(wire::FrameHeader& header,
+                                            std::vector<std::uint8_t>& payload,
+                                            std::string& corrupt_reason) {
+  if (buf_.size() < wire::kHeaderSize) return Status::kNeedMore;
+  try {
+    header = wire::decode_header(buf_.data());
+  } catch (const Error& e) {
+    corrupt_reason = e.what();
+    return Status::kCorrupt;
+  }
+  const std::size_t frame_size = wire::kHeaderSize + header.payload_size;
+  if (buf_.size() < frame_size) return Status::kNeedMore;
+  const std::uint8_t* body = buf_.data() + wire::kHeaderSize;
+  if (!wire::verify_payload(header, body)) {
+    corrupt_reason = "payload CRC mismatch";
+    return Status::kCorrupt;
+  }
+  payload.assign(body, body + header.payload_size);
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(frame_size));
+  return Status::kFrame;
+}
+
+double RetryPolicy::backoff_seconds(std::uint32_t attempts_made) const {
+  const int exponent =
+      attempts_made == 0 ? 0 : static_cast<int>(attempts_made) - 1;
+  return std::min(backoff_max_seconds,
+                  backoff_initial_seconds * std::ldexp(1.0, exponent));
+}
+
+namespace {
+
+std::string join_failures(const std::vector<std::string>& lines) {
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out += (i == 0 ? "[" : "; [") + lines[i] + "]";
+  }
+  return out;
+}
+
+}  // namespace
+
+TaskLedger::TaskLedger(const std::vector<JobSpec>& sweep, RetryPolicy policy,
+                       EndpointClock::time_point now)
+    : sweep_(sweep), policy_(policy) {
+  ESCHED_REQUIRE(policy_.max_attempts >= 1,
+                 "TaskLedger: max_attempts must be >= 1");
+  tasks_.resize(sweep.size());
+  pending_.reserve(sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    tasks_[i].ready_at = now;
+    pending_.push_back(i);
+  }
+}
+
+std::size_t TaskLedger::claim_ready(EndpointClock::time_point now) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (tasks_[pending_[i]].ready_at <= now) {
+      const std::size_t task = pending_[i];
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      return task;
+    }
+  }
+  return kNoTask;
+}
+
+std::uint32_t TaskLedger::begin_attempt(std::size_t task) {
+  TaskState& t = tasks_[task];
+  const std::uint32_t attempt = t.attempts;
+  ++t.attempts;
+  return attempt;
+}
+
+void TaskLedger::complete(std::size_t task) {
+  TaskState& t = tasks_[task];
+  if (!t.done) {
+    t.done = true;
+    ++done_;
+  }
+}
+
+void TaskLedger::fail_attempt(std::size_t task, const std::string& reason,
+                              EndpointClock::time_point now) {
+  TaskState& t = tasks_[task];
+  t.failures.push_back("attempt " + std::to_string(t.attempts) + ": " +
+                       reason);
+  if (t.attempts >= policy_.max_attempts) {
+    throw Error("sweep cell \"" + sweep_[task].label + "\" (task " +
+                std::to_string(task) + ") failed after " +
+                std::to_string(t.attempts) + " attempt(s): " +
+                join_failures(t.failures));
+  }
+  t.ready_at = now + std::chrono::duration_cast<EndpointClock::duration>(
+                         std::chrono::duration<double>(
+                             policy_.backoff_seconds(t.attempts)));
+  pending_.push_back(task);
+}
+
+void TaskLedger::fail_deterministic(std::size_t task,
+                                    const std::string& message) const {
+  throw Error("sweep cell \"" + sweep_[task].label + "\" (task " +
+              std::to_string(task) + ") failed: " + message);
+}
+
+bool TaskLedger::next_ready_at(EndpointClock::time_point& out) const {
+  bool have = false;
+  for (const std::size_t task : pending_) {
+    if (!have || tasks_[task].ready_at < out) {
+      out = tasks_[task].ready_at;
+      have = true;
+    }
+  }
+  return have;
+}
+
+void Endpoint::begin(std::size_t task_index, std::uint32_t attempt_number,
+                     EndpointClock::time_point now, double timeout_seconds) {
+  task = task_index;
+  attempt = attempt_number;
+  dispatched = now;
+  has_deadline = timeout_seconds > 0.0;
+  if (has_deadline) {
+    deadline = now + std::chrono::duration_cast<EndpointClock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  }
+}
+
+WorkerProcess spawn_worker(const std::string& worker_path) {
+  // CLOEXEC on every end: a sibling worker forked later must not inherit
+  // this worker's pipes, or its death would never read as EOF.
+  const auto cloexec_pipe = [](int fds[2]) {
+    if (::pipe(fds) != 0) return false;
+    ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+    return true;
+  };
+  int to_child[2];
+  int from_child[2];
+  ESCHED_REQUIRE(cloexec_pipe(to_child),
+                 "spawn_worker: pipe failed: " +
+                     std::string(std::strerror(errno)));
+  if (!cloexec_pipe(from_child)) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    throw Error("spawn_worker: pipe failed: " +
+                std::string(std::strerror(errno)));
+  }
+  const pid_t pid = ::fork();
+  ESCHED_REQUIRE(pid >= 0, "spawn_worker: fork failed: " +
+                               std::string(std::strerror(errno)));
+  if (pid == 0) {
+    // Child. dup2 clears O_CLOEXEC on the duplicated fds — exactly the
+    // two ends the worker must keep.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    char* argv[] = {const_cast<char*>(worker_path.c_str()), nullptr};
+    ::execv(worker_path.c_str(), argv);
+    ::_exit(127);  // the parent maps 127 to "exec failed"
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  WorkerProcess w;
+  w.pid = pid;
+  w.to_child = to_child[1];
+  w.from_child = from_child[0];
+  return w;
+}
+
+std::string reap_worker(WorkerProcess& worker, int* exit_status) noexcept {
+  if (exit_status != nullptr) *exit_status = -1;
+  if (worker.pid < 0) return "already reaped";
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(worker.pid, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  if (worker.to_child >= 0) ::close(worker.to_child);
+  if (worker.from_child >= 0) ::close(worker.from_child);
+  const pid_t pid = worker.pid;
+  worker.pid = -1;
+  worker.to_child = -1;
+  worker.from_child = -1;
+  if (r != pid) return "waitpid failed";
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    if (exit_status != nullptr) *exit_status = code;
+    return "exited with status " + std::to_string(code);
+  }
+  return "ended with wait status " + std::to_string(status);
+}
+
+std::string kill_and_reap_worker(WorkerProcess& worker,
+                                 int* exit_status) noexcept {
+  if (worker.pid >= 0) ::kill(worker.pid, SIGKILL);
+  return reap_worker(worker, exit_status);
+}
+
+bool write_all_fd(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string exe_directory() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  const std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string find_sibling_binary(const char* env_var,
+                                const std::string& name) {
+  if (env_var != nullptr) {
+    if (const char* env = std::getenv(env_var)) {
+      if (*env != '\0' && ::access(env, X_OK) == 0) return env;
+      return {};
+    }
+  }
+  const std::string dir = exe_directory();
+  if (dir.empty()) return {};
+  for (const char* rel : {"/", "/../"}) {
+    const std::string candidate = dir + rel + name;
+    if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+  }
+  return {};
+}
+
+}  // namespace esched::run

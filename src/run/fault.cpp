@@ -27,9 +27,13 @@ FaultPlan::Action FaultPlan::decide(std::uint32_t task_id,
   const std::uint64_t h = splitmix64(seed ^ key);
   // 53 mantissa bits -> uniform in [0, 1).
   const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
-  if (u < crash) return Action::kCrash;
-  if (u < crash + hang) return Action::kHang;
-  if (u < crash + hang + garbage) return Action::kGarbage;
+  double band = crash;
+  if (u < band) return Action::kCrash;
+  if (u < (band += hang)) return Action::kHang;
+  if (u < (band += garbage)) return Action::kGarbage;
+  if (u < (band += net_drop)) return Action::kNetDrop;
+  if (u < (band += net_slow)) return Action::kNetSlow;
+  if (u < (band += net_garbage)) return Action::kNetGarbage;
   return Action::kNone;
 }
 
@@ -62,6 +66,12 @@ FaultPlan FaultPlan::parse(const std::string& text) {
     ESCHED_REQUIRE(end != value.c_str() && *end == '\0',
                    "ESCHED_FAULT " + key + " value \"" + value +
                        "\" is not a number");
+    if (key == "netslow_seconds") {
+      ESCHED_REQUIRE(p >= 0.0, "ESCHED_FAULT netslow_seconds " + value +
+                                   " must be >= 0");
+      plan.net_slow_seconds = p;
+      continue;
+    }
     ESCHED_REQUIRE(p >= 0.0 && p <= 1.0,
                    "ESCHED_FAULT " + key + " probability " + value +
                        " outside [0, 1]");
@@ -71,12 +81,21 @@ FaultPlan FaultPlan::parse(const std::string& text) {
       plan.hang = p;
     } else if (key == "garbage") {
       plan.garbage = p;
+    } else if (key == "netdrop") {
+      plan.net_drop = p;
+    } else if (key == "netslow") {
+      plan.net_slow = p;
+    } else if (key == "netgarbage") {
+      plan.net_garbage = p;
     } else {
       throw Error("ESCHED_FAULT unknown key \"" + key +
-                  "\" (known: crash, hang, garbage, seed)");
+                  "\" (known: crash, hang, garbage, netdrop, netslow, "
+                  "netgarbage, netslow_seconds, seed)");
     }
   }
-  ESCHED_REQUIRE(plan.crash + plan.hang + plan.garbage <= 1.0,
+  ESCHED_REQUIRE(plan.crash + plan.hang + plan.garbage + plan.net_drop +
+                         plan.net_slow + plan.net_garbage <=
+                     1.0,
                  "ESCHED_FAULT probabilities sum above 1");
   return plan;
 }

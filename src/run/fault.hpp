@@ -21,6 +21,27 @@
 //                task timeout kills the worker
 //   garbage:<p>  complete the task but answer with a CRC-corrupted frame
 //   seed:<s>     seed of the deterministic draw (default 0)
+//
+// The network faults act at the esched-agentd layer (src/net), so every
+// DistributedPool failure path is CI-testable without a flaky real
+// network. They share the same per-(task_id, attempt) draw, so a plan
+// mixing worker and network faults injects at most one fault per attempt
+// and stays deterministic regardless of which agent a cell lands on:
+//
+//   netdrop:<p>     close the coordinator connection on receiving the
+//                   job — the "agent died mid-sweep" requeue path
+//   netslow:<p>     hold every outbound frame of the connection (results
+//                   *and* heartbeat pongs) for netslow_seconds — the
+//                   task-timeout and missed-heartbeat paths
+//   netgarbage:<p>  answer the task with a CRC-corrupted frame — the
+//                   protocol-corruption path over TCP
+//   netslow_seconds:<s>  hold duration for netslow (default 2.0)
+//
+// A process only acts on the faults of its layer: esched-worker ignores
+// net* decisions (the attempt runs clean), esched-agentd ignores
+// crash/hang/garbage (its workers, which inherit ESCHED_FAULT, act on
+// those). Probability bands are checked in order crash, hang, garbage,
+// netdrop, netslow, netgarbage.
 #pragma once
 
 #include <cstdint>
@@ -33,11 +54,26 @@ struct FaultPlan {
   double crash = 0.0;
   double hang = 0.0;
   double garbage = 0.0;
+  double net_drop = 0.0;
+  double net_slow = 0.0;
+  double net_garbage = 0.0;
+  double net_slow_seconds = 2.0;
   std::uint64_t seed = 0;
 
-  bool any() const { return crash > 0.0 || hang > 0.0 || garbage > 0.0; }
+  bool any() const {
+    return crash > 0.0 || hang > 0.0 || garbage > 0.0 || net_drop > 0.0 ||
+           net_slow > 0.0 || net_garbage > 0.0;
+  }
 
-  enum class Action { kNone, kCrash, kHang, kGarbage };
+  enum class Action {
+    kNone,
+    kCrash,
+    kHang,
+    kGarbage,
+    kNetDrop,
+    kNetSlow,
+    kNetGarbage,
+  };
 
   /// The (deterministic) fault for one task attempt.
   Action decide(std::uint32_t task_id, std::uint32_t attempt) const;

@@ -4,21 +4,19 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include <fcntl.h>
 #include <poll.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
+#include "run/endpoint.hpp"
 #include "run/wire.hpp"
 #include "util/error.hpp"
 
@@ -26,9 +24,8 @@ namespace esched::run {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = EndpointClock;
 
-constexpr std::size_t kNoTask = std::numeric_limits<std::size_t>::max();
 /// Worker-lifetime / task spans go on tracks 1000+slot so they never
 /// collide with the per-thread B/E tracks of the in-process runner.
 constexpr std::uint32_t kTrackBase = 1000;
@@ -43,64 +40,14 @@ void bump(const char* name) {
   obs::Registry::global().counter(name).add();
 }
 
-/// Ignore SIGPIPE for the duration of a run: writing a job to a worker
-/// that just died must surface as EPIPE (a classifiable failure), not
-/// kill the supervisor. Restores the previous disposition on scope exit.
-class SigpipeGuard {
- public:
-  SigpipeGuard() { previous_ = ::signal(SIGPIPE, SIG_IGN); }
-  ~SigpipeGuard() { ::signal(SIGPIPE, previous_); }
-  SigpipeGuard(const SigpipeGuard&) = delete;
-  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
-
- private:
-  void (*previous_)(int) = SIG_DFL;
-};
-
-bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::write(fd, data + done, size - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-std::string exe_directory() {
-  char buf[4096];
-  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
-  if (n <= 0) return {};
-  buf[n] = '\0';
-  const std::string path(buf);
-  const std::size_t slash = path.rfind('/');
-  return slash == std::string::npos ? std::string() : path.substr(0, slash);
-}
-
-/// One worker subprocess and the supervisor's view of it.
+/// One worker subprocess and the supervisor's view of it: the process
+/// handle, the shared in-flight bookkeeping, and the partial-frame
+/// reassembly buffer (all from run/endpoint.hpp).
 struct Worker {
-  pid_t pid = -1;
-  int to_child = -1;    ///< supervisor writes kJob frames
-  int from_child = -1;  ///< supervisor reads kResult/kError frames
-  std::vector<std::uint8_t> buf;  ///< partial inbound frame bytes
-  std::size_t task = kNoTask;     ///< in-flight task, kNoTask when idle
-  std::uint32_t attempt = 0;      ///< attempt number of the in-flight task
-  bool has_deadline = false;
-  Clock::time_point deadline{};
-  Clock::time_point dispatched{};
+  WorkerProcess proc;
+  Endpoint ep;
+  FrameAssembler frames;
   Clock::time_point spawned{};
-};
-
-/// Per-task retry bookkeeping.
-struct TaskState {
-  std::uint32_t attempts = 0;  ///< attempts started (dispatched) so far
-  std::vector<std::string> failures;  ///< one line per failed attempt
-  Clock::time_point ready_at{};       ///< backoff gate for redispatch
-  bool queued = false;
-  bool done = false;
 };
 
 /// The single-run supervisor state machine. A throwing path anywhere in
@@ -121,17 +68,16 @@ class Supervisor {
   std::vector<sim::SimResult> run() {
     const std::size_t n = sweep_.size();
     results_.resize(n);
-    tasks_.resize(n);
     payloads_.reserve(n);
     for (const JobSpec& spec : sweep_) {
       payloads_.push_back(wire::encode_job(spec));  // throws on bad spec
     }
     wall_start_ = Clock::now();
-    for (std::size_t i = 0; i < n; ++i) {
-      tasks_[i].ready_at = wall_start_;
-      tasks_[i].queued = true;
-      pending_.push_back(i);
-    }
+    RetryPolicy retry;
+    retry.max_attempts = config_.max_attempts;
+    retry.backoff_initial_seconds = config_.backoff_initial_seconds;
+    retry.backoff_max_seconds = config_.backoff_max_seconds;
+    ledger_.emplace(sweep_, retry, wall_start_);
 
     const std::size_t worker_count = std::max<std::size_t>(
         1, std::min(config_.workers != 0 ? config_.workers
@@ -144,7 +90,7 @@ class Supervisor {
       spawn(slot);
     }
 
-    while (done_ < n) step();
+    while (!ledger_->all_done()) step();
 
     shutdown(/*force=*/false);
     stats_.wall_seconds = seconds_since(wall_start_);
@@ -159,13 +105,13 @@ class Supervisor {
   void shutdown(bool force) noexcept {
     for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
       Worker& w = workers_[slot];
-      if (w.pid < 0) continue;
+      if (!w.proc.alive()) continue;
       if (force) {
-        ::kill(w.pid, SIGKILL);
-      } else if (w.to_child >= 0) {
+        ::kill(w.proc.pid, SIGKILL);
+      } else if (w.proc.to_child >= 0) {
         // Graceful: EOF on stdin is the worker's shutdown signal.
-        ::close(w.to_child);
-        w.to_child = -1;
+        ::close(w.proc.to_child);
+        w.proc.to_child = -1;
       }
       reap(slot);
     }
@@ -176,128 +122,52 @@ class Supervisor {
 
   void spawn(std::size_t slot) {
     Worker& w = workers_[slot];
-    // CLOEXEC on every end: a sibling worker forked later must not
-    // inherit this worker's pipes, or its death would never read as EOF.
-    const auto cloexec_pipe = [](int fds[2]) {
-      if (::pipe(fds) != 0) return false;
-      ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
-      ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
-      return true;
-    };
-    int to_child[2];
-    int from_child[2];
-    ESCHED_REQUIRE(cloexec_pipe(to_child),
-                   "SubprocessPool: pipe failed: " +
-                       std::string(std::strerror(errno)));
-    if (!cloexec_pipe(from_child)) {
-      ::close(to_child[0]);
-      ::close(to_child[1]);
-      throw Error("SubprocessPool: pipe failed: " +
-                  std::string(std::strerror(errno)));
-    }
-    const pid_t pid = ::fork();
-    ESCHED_REQUIRE(pid >= 0, "SubprocessPool: fork failed: " +
-                                 std::string(std::strerror(errno)));
-    if (pid == 0) {
-      // Child. dup2 clears O_CLOEXEC on the duplicated fds — exactly the
-      // two ends the worker must keep.
-      ::dup2(to_child[0], STDIN_FILENO);
-      ::dup2(from_child[1], STDOUT_FILENO);
-      char* argv[] = {const_cast<char*>(worker_path_.c_str()), nullptr};
-      ::execv(worker_path_.c_str(), argv);
-      ::_exit(127);  // the supervisor maps 127 to "exec failed"
-    }
-    ::close(to_child[0]);
-    ::close(from_child[1]);
-    w.pid = pid;
-    w.to_child = to_child[1];
-    w.from_child = from_child[0];
-    w.buf.clear();
-    w.task = kNoTask;
-    w.has_deadline = false;
+    w.proc = spawn_worker(worker_path_);
+    w.frames.reset();
+    w.ep.clear();
     w.spawned = Clock::now();
     bump("pool.spawns");
   }
 
-  /// waitpid + close fds + emit the worker-lifetime span. Returns a
-  /// human-readable death description ("exited with status 0", "killed
-  /// by signal 9").
+  /// reap_worker + emit the worker-lifetime span. Returns the death
+  /// description ("exited with status 0", "killed by signal 9").
   std::string reap(std::size_t slot) noexcept {
     Worker& w = workers_[slot];
-    if (w.pid < 0) return "already reaped";
-    exit_status_ = -1;
-    int status = 0;
-    pid_t r;
-    do {
-      r = ::waitpid(w.pid, &status, 0);
-    } while (r < 0 && errno == EINTR);
-    if (w.to_child >= 0) ::close(w.to_child);
-    if (w.from_child >= 0) ::close(w.from_child);
+    if (!w.proc.alive()) return "already reaped";
+    const pid_t pid = w.proc.pid;
+    const std::string death = reap_worker(w.proc, &exit_status_);
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->complete_span("worker:" + std::to_string(slot) + " pid " +
-                                 std::to_string(w.pid),
+                                 std::to_string(pid),
                              "pool", w.spawned, Clock::now(),
                              kTrackBase + static_cast<std::uint32_t>(slot));
     }
-    const pid_t pid = w.pid;
-    w.pid = -1;
-    w.to_child = -1;
-    w.from_child = -1;
-    w.buf.clear();
-    if (r != pid) return "waitpid failed";
-    if (WIFSIGNALED(status)) {
-      return "killed by signal " + std::to_string(WTERMSIG(status));
-    }
-    if (WIFEXITED(status)) {
-      exit_status_ = WEXITSTATUS(status);
-      return "exited with status " + std::to_string(exit_status_);
-    }
-    return "ended with wait status " + std::to_string(status);
+    w.frames.reset();
+    return death;
   }
 
   // ---- dispatch -------------------------------------------------------
 
   void assign_ready(Clock::time_point now) {
     for (std::size_t slot = 0;
-         slot < workers_.size() && !pending_.empty(); ++slot) {
+         slot < workers_.size() && ledger_->has_pending(); ++slot) {
       Worker& w = workers_[slot];
-      if (w.pid < 0 || w.task != kNoTask) continue;
-      // First pending task whose backoff has elapsed, in requeue order.
-      std::size_t pick = pending_.size();
-      for (std::size_t i = 0; i < pending_.size(); ++i) {
-        if (tasks_[pending_[i]].ready_at <= now) {
-          pick = i;
-          break;
-        }
-      }
-      if (pick == pending_.size()) return;  // all gated on backoff
-      const std::size_t task = pending_[pick];
-      pending_.erase(pending_.begin() +
-                     static_cast<std::ptrdiff_t>(pick));
-      tasks_[task].queued = false;
+      if (!w.proc.alive() || w.ep.busy()) continue;
+      const std::size_t task = ledger_->claim_ready(now);
+      if (task == kNoTask) return;  // all gated on backoff
       dispatch(slot, task);
     }
   }
 
   void dispatch(std::size_t slot, std::size_t task) {
     Worker& w = workers_[slot];
-    TaskState& t = tasks_[task];
-    w.task = task;
-    w.attempt = t.attempts;
-    ++t.attempts;
-    w.dispatched = Clock::now();
-    w.has_deadline = config_.task_timeout_seconds > 0.0;
-    if (w.has_deadline) {
-      w.deadline =
-          w.dispatched + std::chrono::duration_cast<Clock::duration>(
-                             std::chrono::duration<double>(
-                                 config_.task_timeout_seconds));
-    }
+    const std::uint32_t attempt = ledger_->begin_attempt(task);
+    w.ep.begin(task, attempt, Clock::now(), config_.task_timeout_seconds);
     const std::vector<std::uint8_t> frame =
         wire::encode_frame(wire::FrameType::kJob,
-                           static_cast<std::uint32_t>(task), w.attempt,
+                           static_cast<std::uint32_t>(task), attempt,
                            payloads_[task]);
-    if (!write_all(w.to_child, frame.data(), frame.size())) {
+    if (!write_all_fd(w.proc.to_child, frame.data(), frame.size())) {
       // The worker died before accepting the job (EPIPE): same handling
       // as a death mid-task, which also classifies exec failures.
       fail_attempt(slot, "died before accepting the job (" +
@@ -310,8 +180,15 @@ class Supervisor {
   /// SIGKILL (if still alive) + reap, returning the death description.
   std::string describe_death(std::size_t slot) {
     Worker& w = workers_[slot];
-    if (w.pid >= 0) ::kill(w.pid, SIGKILL);
+    if (w.proc.alive()) ::kill(w.proc.pid, SIGKILL);
     return reap(slot);
+  }
+
+  [[noreturn]] void throw_exec_failure() const {
+    throw Error("SubprocessPool: cannot execute worker binary \"" +
+                worker_path_ +
+                "\" (exit 127 from exec); set ESCHED_WORKER or build "
+                "the esched-worker target");
   }
 
   /// An attempt on `slot`'s in-flight task failed for `reason`: record
@@ -320,44 +197,14 @@ class Supervisor {
   /// worker binary cannot exec.
   void fail_attempt(std::size_t slot, const std::string& reason) {
     Worker& w = workers_[slot];
-    const std::size_t task = w.task;
-    w.task = kNoTask;
-    w.has_deadline = false;
-    if (exit_status_ == 127) {
-      throw Error("SubprocessPool: cannot execute worker binary \"" +
-                  worker_path_ +
-                  "\" (exit 127 from exec); set ESCHED_WORKER or build "
-                  "the esched-worker target");
-    }
+    const std::size_t task = w.ep.task;
+    w.ep.clear();
+    if (exit_status_ == 127) throw_exec_failure();
     bump("pool.worker_deaths");
-    TaskState& t = tasks_[task];
-    t.failures.push_back("attempt " + std::to_string(t.attempts) + ": " +
-                         reason);
-    if (t.attempts >= config_.max_attempts) {
-      throw Error("sweep cell \"" + sweep_[task].label + "\" (task " +
-                  std::to_string(task) + ") failed after " +
-                  std::to_string(t.attempts) + " attempt(s): " +
-                  join_failures(t.failures));
-    }
+    ledger_->fail_attempt(task, reason, Clock::now());  // throws on budget
     bump("pool.retries");
-    const double backoff =
-        std::min(config_.backoff_max_seconds,
-                 config_.backoff_initial_seconds *
-                     std::ldexp(1.0, static_cast<int>(t.attempts) - 1));
-    t.ready_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                    std::chrono::duration<double>(backoff));
-    t.queued = true;
-    pending_.push_back(task);
     spawn(slot);
     bump("pool.respawns");
-  }
-
-  static std::string join_failures(const std::vector<std::string>& lines) {
-    std::string out;
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      out += (i == 0 ? "[" : "; [") + lines[i] + "]";
-    }
-    return out;
   }
 
   // ---- the poll loop --------------------------------------------------
@@ -370,8 +217,8 @@ class Supervisor {
     std::vector<std::size_t> slots;
     fds.reserve(workers_.size());
     for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
-      if (workers_[slot].pid < 0) continue;
-      fds.push_back({workers_[slot].from_child, POLLIN, 0});
+      if (!workers_[slot].proc.alive()) continue;
+      fds.push_back({workers_[slot].proc.from_child, POLLIN, 0});
       slots.push_back(slot);
     }
     ESCHED_REQUIRE(!fds.empty(), "SubprocessPool: no live workers");
@@ -382,20 +229,18 @@ class Supervisor {
       throw Error("SubprocessPool: poll failed: " +
                   std::string(std::strerror(errno)));
     }
-    now = Clock::now();
     if (rc > 0) {
       for (std::size_t i = 0; i < fds.size(); ++i) {
         if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
         on_readable(slots[i]);
-        if (done_ >= sweep_.size()) return;
+        if (ledger_->all_done()) return;
       }
     }
     // Deadlines, after any answers that beat the clock were consumed.
     now = Clock::now();
     for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
       Worker& w = workers_[slot];
-      if (w.pid < 0 || w.task == kNoTask || !w.has_deadline) continue;
-      if (w.deadline > now) continue;
+      if (!w.proc.alive() || !w.ep.deadline_expired(now)) continue;
       bump("pool.timeouts");
       const std::string death = describe_death(slot);
       fail_attempt(slot, "timed out after " +
@@ -416,13 +261,12 @@ class Supervisor {
       }
     };
     for (const Worker& w : workers_) {
-      if (w.pid >= 0 && w.task != kNoTask && w.has_deadline) {
-        consider(w.deadline);
+      if (w.proc.alive() && w.ep.busy() && w.ep.has_deadline) {
+        consider(w.ep.deadline);
       }
     }
-    for (const std::size_t task : pending_) {
-      consider(tasks_[task].ready_at);
-    }
+    Clock::time_point ready{};
+    if (ledger_->next_ready_at(ready)) consider(ready);
     if (!have) return -1;
     const double sec =
         std::chrono::duration<double>(nearest - now).count();
@@ -434,7 +278,7 @@ class Supervisor {
   void on_readable(std::size_t slot) {
     Worker& w = workers_[slot];
     std::uint8_t chunk[65536];
-    const ssize_t n = ::read(w.from_child, chunk, sizeof chunk);
+    const ssize_t n = ::read(w.proc.from_child, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN) return;
       on_worker_gone(slot, "read failed: " +
@@ -442,10 +286,10 @@ class Supervisor {
       return;
     }
     if (n == 0) {
-      on_worker_gone(slot, w.buf.empty() ? "" : "mid-frame");
+      on_worker_gone(slot, w.frames.mid_frame() ? "mid-frame" : "");
       return;
     }
-    w.buf.insert(w.buf.end(), chunk, chunk + n);
+    w.frames.append(chunk, static_cast<std::size_t>(n));
     process_frames(slot);
   }
 
@@ -453,18 +297,13 @@ class Supervisor {
   /// requeue its in-flight task or, for an idle worker, just respawn.
   void on_worker_gone(std::size_t slot, const std::string& detail) {
     Worker& w = workers_[slot];
-    const bool had_task = w.task != kNoTask;
+    const bool had_task = w.ep.busy();
     std::string death = reap(slot);
     if (!detail.empty()) death += ", " + detail;
-    if (exit_status_ == 127) {
-      throw Error("SubprocessPool: cannot execute worker binary \"" +
-                  worker_path_ +
-                  "\" (exit 127 from exec); set ESCHED_WORKER or build "
-                  "the esched-worker target");
-    }
+    if (exit_status_ == 127) throw_exec_failure();
     if (had_task) {
       fail_attempt(slot, "worker " + death + " before answering");
-    } else if (done_ < sweep_.size()) {
+    } else if (!ledger_->all_done()) {
       bump("pool.worker_deaths");
       spawn(slot);
       bump("pool.respawns");
@@ -475,7 +314,7 @@ class Supervisor {
     bump("pool.corrupt_frames");
     const std::string death = describe_death(slot);
     Worker& w = workers_[slot];
-    if (w.task == kNoTask) {
+    if (!w.ep.busy()) {
       // Garbage from an idle worker: nothing to requeue, just replace it.
       bump("pool.worker_deaths");
       spawn(slot);
@@ -488,32 +327,22 @@ class Supervisor {
 
   void process_frames(std::size_t slot) {
     Worker& w = workers_[slot];
-    while (w.pid >= 0) {
-      if (w.buf.size() < wire::kHeaderSize) return;
+    while (w.proc.alive()) {
       wire::FrameHeader header;
-      try {
-        header = wire::decode_header(w.buf.data());
-      } catch (const Error& e) {
-        on_corrupt(slot, e.what());
+      std::vector<std::uint8_t> body;
+      std::string corrupt;
+      const FrameAssembler::Status status = w.frames.next(header, body, corrupt);
+      if (status == FrameAssembler::Status::kNeedMore) return;
+      if (status == FrameAssembler::Status::kCorrupt) {
+        on_corrupt(slot, corrupt);
         return;
       }
-      const std::size_t frame_size = wire::kHeaderSize + header.payload_size;
-      if (w.buf.size() < frame_size) return;
-      const std::uint8_t* payload = w.buf.data() + wire::kHeaderSize;
-      if (!wire::verify_payload(header, payload)) {
-        on_corrupt(slot, "payload CRC mismatch");
-        return;
-      }
-      if (w.task == kNoTask ||
-          header.task_id != static_cast<std::uint32_t>(w.task) ||
-          header.attempt != w.attempt) {
+      if (!w.ep.busy() ||
+          header.task_id != static_cast<std::uint32_t>(w.ep.task) ||
+          header.attempt != w.ep.attempt) {
         on_corrupt(slot, "answer for a task this worker does not hold");
         return;
       }
-      const std::vector<std::uint8_t> body(payload,
-                                           payload + header.payload_size);
-      w.buf.erase(w.buf.begin(),
-                  w.buf.begin() + static_cast<std::ptrdiff_t>(frame_size));
       if (header.type == wire::FrameType::kError) {
         std::string message;
         try {
@@ -523,8 +352,7 @@ class Supervisor {
         }
         // Deterministic failure: retrying reruns the same deterministic
         // simulation, so fail the sweep fast with the worker's message.
-        throw Error("sweep cell \"" + sweep_[w.task].label + "\" (task " +
-                    std::to_string(w.task) + ") failed: " + message);
+        ledger_->fail_deterministic(w.ep.task, message);
       }
       sim::SimResult result;
       try {
@@ -541,31 +369,29 @@ class Supervisor {
 
   void complete(std::size_t slot, sim::SimResult result) {
     Worker& w = workers_[slot];
-    const std::size_t task = w.task;
-    const double seconds = seconds_since(w.dispatched);
+    const std::size_t task = w.ep.task;
+    const double seconds = seconds_since(w.ep.dispatched);
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->complete_span(
           "task:" +
               (sweep_[task].label.empty() ? std::to_string(task)
                                           : sweep_[task].label) +
-              "#" + std::to_string(w.attempt),
-          "pool", w.dispatched, Clock::now(),
+              "#" + std::to_string(w.ep.attempt),
+          "pool", w.ep.dispatched, Clock::now(),
           kTrackBase + static_cast<std::uint32_t>(slot));
     }
-    w.task = kNoTask;
-    w.has_deadline = false;
+    w.ep.clear();
     results_[task] = std::move(result);
-    tasks_[task].done = true;
+    ledger_->complete(task);
     task_seconds_.push_back(seconds);
     stats_.worker_busy_seconds[slot] += seconds;
-    ++done_;
     if (progress_) {
       SweepProgress p;
-      p.done = done_;
+      p.done = ledger_->done_count();
       p.total = sweep_.size();
       p.elapsed_seconds = seconds_since(wall_start_);
-      p.eta_seconds = p.elapsed_seconds / static_cast<double>(done_) *
-                      static_cast<double>(sweep_.size() - done_);
+      p.eta_seconds = p.elapsed_seconds / static_cast<double>(p.done) *
+                      static_cast<double>(p.total - p.done);
       progress_(p);
     }
   }
@@ -598,12 +424,10 @@ class Supervisor {
   obs::Tracer* tracer_;
 
   std::vector<Worker> workers_;
-  std::vector<TaskState> tasks_;
+  std::optional<TaskLedger> ledger_;
   std::vector<std::vector<std::uint8_t>> payloads_;
-  std::vector<std::size_t> pending_;
   std::vector<sim::SimResult> results_;
   std::vector<double> task_seconds_;
-  std::size_t done_ = 0;
   int exit_status_ = -1;  ///< last reaped worker's exit status (or -1)
   Clock::time_point wall_start_{};
 };
@@ -617,17 +441,7 @@ SubprocessPool::SubprocessPool(SubprocessPoolConfig config)
 }
 
 std::string SubprocessPool::find_worker() {
-  if (const char* env = std::getenv("ESCHED_WORKER")) {
-    if (*env != '\0' && ::access(env, X_OK) == 0) return env;
-    return {};
-  }
-  const std::string dir = exe_directory();
-  if (dir.empty()) return {};
-  for (const char* rel : {"/esched-worker", "/../esched-worker"}) {
-    const std::string candidate = dir + rel;
-    if (::access(candidate.c_str(), X_OK) == 0) return candidate;
-  }
-  return {};
+  return find_sibling_binary("ESCHED_WORKER", "esched-worker");
 }
 
 bool SubprocessPool::available() { return !find_worker().empty(); }

@@ -188,7 +188,7 @@ FrameHeader decode_header(const std::uint8_t* bytes) {
   }
   const std::uint8_t type = bytes[6];
   if (type < static_cast<std::uint8_t>(FrameType::kJob) ||
-      type > static_cast<std::uint8_t>(FrameType::kError)) {
+      type > static_cast<std::uint8_t>(FrameType::kFail)) {
     wire_error("unknown frame type " + std::to_string(type));
   }
   if (bytes[7] != 0) wire_error("nonzero reserved byte");

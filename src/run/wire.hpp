@@ -51,6 +51,17 @@ enum class FrameType : std::uint8_t {
   kResult = 2,  ///< worker -> supervisor: payload is a SimResult
   kError = 3,   ///< worker -> supervisor: payload is an error string;
                 ///< deterministic failure, the supervisor fails fast
+  // The TCP transport (src/net) carries these same frames over stream
+  // sockets and adds the session frames below. Pipe peers (esched-worker)
+  // never see them; the header codec accepts them so both transports
+  // share one frame grammar.
+  kHello = 4,    ///< coordinator -> agentd: handshake (net/protocol.hpp)
+  kWelcome = 5,  ///< agentd -> coordinator: handshake accept + slot count
+  kPing = 6,     ///< coordinator -> agentd: heartbeat (task_id = sequence)
+  kPong = 7,     ///< agentd -> coordinator: heartbeat echo
+  kFail = 8,     ///< agentd -> coordinator: *transient* failure of the
+                 ///< named (task, attempt) — worker death at the agent;
+                 ///< payload is a reason string, the coordinator requeues
 };
 
 /// Decoded frame header.

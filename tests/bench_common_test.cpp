@@ -48,6 +48,45 @@ TEST(BenchOptionsTest, RejectsZeroTickAndWindowAtParseTime) {
   EXPECT_NO_THROW(parse({"--tick", "1", "--window", "1"}));
 }
 
+TEST(BenchOptionsTest, RejectsUnknownIsolateModesNamingAcceptedOnes) {
+  EXPECT_EQ(parse({}).isolate, "off");
+  EXPECT_EQ(parse({"--isolate", "proc"}).isolate, "proc");
+  EXPECT_EQ(parse({"--isolate", "tcp"}).isolate, "tcp");
+  try {
+    parse({"--isolate", "bogus"});
+    FAIL() << "expected unknown --isolate value to be rejected";
+  } catch (const Error& e) {
+    // The rejection must name the offender and list the accepted values.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("\"off\""), std::string::npos) << what;
+    EXPECT_NE(what.find("\"proc\""), std::string::npos) << what;
+    EXPECT_NE(what.find("\"tcp\""), std::string::npos) << what;
+  }
+}
+
+TEST(BenchOptionsTest, ValidatesAgentListAtParseTime) {
+  ::unsetenv("ESCHED_AGENTS");
+  EXPECT_TRUE(parse({}).agents.empty());
+  EXPECT_EQ(parse({"--agents", "127.0.0.1:9555,node1:9556"}).agents,
+            "127.0.0.1:9555,node1:9556");
+  // A typo'd address must fail at parse time (naming the accepted
+  // forms), not surface mid-sweep as an unreachable agent.
+  try {
+    parse({"--agents", "node1"});
+    FAIL() << "expected malformed --agents entry to be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("accepted forms"),
+              std::string::npos)
+        << e.what();
+  }
+  // ESCHED_AGENTS is the flagless default; the flag wins when both exist.
+  ::setenv("ESCHED_AGENTS", "127.0.0.1:7777", 1);
+  EXPECT_EQ(parse({}).agents, "127.0.0.1:7777");
+  EXPECT_EQ(parse({"--agents", "127.0.0.1:8888"}).agents, "127.0.0.1:8888");
+  ::unsetenv("ESCHED_AGENTS");
+}
+
 TEST(BenchOptionsTest, ObservabilityIsOffByDefault) {
   const Options opt = parse({});
   EXPECT_TRUE(opt.trace_out.empty());

@@ -1,0 +1,428 @@
+// Integration tests for the distributed sweep (net/distributed.hpp +
+// esched-agentd): real agentd processes on loopback, real TCP, real
+// esched-worker children. The acceptance criteria of the subsystem live
+// here: a sweep fanned out to two agents is bit-identical to the
+// in-process reference — including when an agent is SIGKILLed mid-sweep
+// (requeue + surviving agent) and when deterministic net faults
+// (ESCHED_FAULT netdrop/netgarbage) sever connections and corrupt
+// frames. Handshake rejection of a wrong protocol version is pinned at
+// the wire level with a raw client.
+#include "net/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "net/frame_io.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "obs/registry.hpp"
+#include "run/endpoint.hpp"
+#include "run/fault.hpp"
+#include "run/spec.hpp"
+#include "run/sweep.hpp"
+#include "run/wire.hpp"
+#include "util/error.hpp"
+
+namespace esched::net {
+namespace {
+
+namespace wire = run::wire;
+
+/// Set ESCHED_FAULT for the scope of one test; spawned agentds (and
+/// their workers) inherit it. Restores the prior value on destruction.
+class ScopedFaultEnv {
+ public:
+  explicit ScopedFaultEnv(const std::string& plan) {
+    const char* prev = std::getenv("ESCHED_FAULT");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    ::setenv("ESCHED_FAULT", plan.c_str(), 1);
+  }
+  ~ScopedFaultEnv() {
+    if (had_prev_) {
+      ::setenv("ESCHED_FAULT", prev_.c_str(), 1);
+    } else {
+      ::unsetenv("ESCHED_FAULT");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+/// One esched-agentd child on an ephemeral loopback port. The ready line
+/// on its stdout announces the port; SIGKILL via kill_now() is the
+/// "agent died mid-sweep" lever.
+class AgentProc {
+ public:
+  explicit AgentProc(int slots) {
+    const std::string path =
+        run::find_sibling_binary("ESCHED_AGENTD", "esched-agentd");
+    ESCHED_REQUIRE(!path.empty(), "esched-agentd binary not built?");
+    int out[2] = {-1, -1};
+    ESCHED_REQUIRE(::pipe(out) == 0, "pipe() failed");
+    pid_ = ::fork();
+    ESCHED_REQUIRE(pid_ >= 0, "fork() failed");
+    if (pid_ == 0) {
+      ::dup2(out[1], STDOUT_FILENO);
+      ::close(out[0]);
+      ::close(out[1]);
+      const std::string slots_arg = std::to_string(slots);
+      ::execl(path.c_str(), path.c_str(), "--port", "0", "--slots",
+              slots_arg.c_str(), static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    ::close(out[1]);
+    // Block on the single "ready ... port=N ..." line.
+    std::string line;
+    char c = 0;
+    while (::read(out[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+    ::close(out[0]);
+    const std::size_t pos = line.find("port=");
+    ESCHED_REQUIRE(pos != std::string::npos,
+                   "no agentd ready line: \"" + line + "\"");
+    port_ = static_cast<std::uint16_t>(
+        std::atoi(line.c_str() + pos + 5));
+    ESCHED_REQUIRE(port_ > 0, "bad agentd ready line: \"" + line + "\"");
+  }
+
+  ~AgentProc() { kill_now(); }
+  AgentProc(const AgentProc&) = delete;
+  AgentProc& operator=(const AgentProc&) = delete;
+
+  void kill_now() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+
+  HostPort addr() const { return {"127.0.0.1", port_}; }
+
+ private:
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Six-cell sweep: the paper's three policies at two price ratios.
+std::vector<run::JobSpec> six_cell_sweep() {
+  std::vector<run::JobSpec> sweep;
+  for (const double ratio : {3.0, 5.0}) {
+    for (const char* policy : {"fcfs", "greedy", "knapsack"}) {
+      run::JobSpec spec;
+      spec.trace.source = "sdsc-blue";
+      spec.trace.months = 1;
+      spec.pricing.model = "paper";
+      spec.pricing.ratio = ratio;
+      spec.policy.name = policy;
+      spec.label = std::string(policy) + "/r" +
+                   std::to_string(static_cast<int>(ratio));
+      sweep.push_back(spec);
+    }
+  }
+  return sweep;
+}
+
+std::vector<sim::SimResult> reference_results(
+    const std::vector<run::JobSpec>& sweep) {
+  std::vector<sim::SimResult> results;
+  results.reserve(sweep.size());
+  for (const run::JobSpec& spec : sweep) {
+    results.push_back(run::execute_job_spec(spec));
+  }
+  return results;
+}
+
+void expect_identical(const std::vector<sim::SimResult>& reference,
+                      const std::vector<sim::SimResult>& actual,
+                      const std::vector<run::JobSpec>& sweep) {
+  ASSERT_EQ(actual.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_TRUE(run::results_identical(reference[i], actual[i]))
+        << "cell " << i << " (" << sweep[i].label << ") diverged";
+  }
+}
+
+/// Fast-failure knobs shared by the tests (CI must not wait out
+/// production backoffs).
+DistributedPoolConfig test_config(const std::vector<HostPort>& agents) {
+  DistributedPoolConfig cfg;
+  cfg.agents = agents;
+  cfg.backoff_initial_seconds = 0.01;
+  cfg.backoff_max_seconds = 0.05;
+  cfg.connect_timeout_seconds = 5.0;
+  cfg.heartbeat_interval_seconds = 0.2;
+  cfg.reconnect_initial_seconds = 0.05;
+  cfg.reconnect_max_seconds = 0.2;
+  cfg.connect_attempts = 3;
+  return cfg;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return obs::Registry::global().counter(name).value();
+}
+
+TEST(DistributedTest, AgentdBinaryIsAvailable) {
+  EXPECT_FALSE(
+      run::find_sibling_binary("ESCHED_AGENTD", "esched-agentd").empty());
+}
+
+TEST(DistributedTest, TwoAgentsBitIdenticalToReference) {
+  const std::vector<run::JobSpec> sweep = six_cell_sweep();
+  const auto reference = reference_results(sweep);
+
+  AgentProc agent1(2);
+  AgentProc agent2(2);
+  obs::set_counters_enabled(true);
+  const std::uint64_t connects_before = counter_value("net.connects");
+
+  DistributedPoolConfig cfg = test_config({agent1.addr(), agent2.addr()});
+  DistributedPool pool(cfg);
+  std::vector<run::SweepProgress> seen;
+  pool.set_progress(
+      [&seen](const run::SweepProgress& p) { seen.push_back(p); });
+  const auto results = pool.run(sweep);
+  obs::set_counters_enabled(false);
+
+  expect_identical(reference, results, sweep);
+  EXPECT_EQ(pool.last_stats().tasks, sweep.size());
+  EXPECT_EQ(pool.last_stats().threads, 4u);  // 2 agents x 2 slots
+  EXPECT_GT(pool.last_stats().wall_seconds, 0.0);
+  EXPECT_GE(counter_value("net.connects"), connects_before + 2);
+  ASSERT_EQ(seen.size(), sweep.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].done, i + 1);
+    EXPECT_EQ(seen[i].total, sweep.size());
+  }
+  // Both runs of a reused pool stay identical (connections are per-run).
+  expect_identical(reference, pool.run(sweep), sweep);
+}
+
+TEST(DistributedTest, EmptySweepIsANoOp) {
+  DistributedPool pool(test_config({{"127.0.0.1", 1}}));
+  EXPECT_TRUE(pool.run({}).empty());
+  EXPECT_EQ(pool.last_stats().tasks, 0u);
+}
+
+TEST(DistributedTest, AgentKilledMidSweepRequeuesAndStaysIdentical) {
+  // The headline fault-tolerance criterion: SIGKILL one of two agents
+  // after the first completed cell; its in-flight cells must requeue onto
+  // the survivor and the results stay bit-identical.
+  const std::vector<run::JobSpec> sweep = six_cell_sweep();
+  const auto reference = reference_results(sweep);
+
+  AgentProc agent1(2);
+  AgentProc agent2(2);
+
+  DistributedPoolConfig cfg = test_config({agent1.addr(), agent2.addr()});
+  cfg.max_attempts = 8;
+  DistributedPool pool(cfg);
+  bool killed = false;
+  pool.set_progress([&](const run::SweepProgress& p) {
+    if (!killed && p.done >= 1) {
+      agent1.kill_now();
+      killed = true;
+    }
+  });
+  const auto results = pool.run(sweep);
+  EXPECT_TRUE(killed);
+  expect_identical(reference, results, sweep);
+}
+
+TEST(DistributedTest, NetFaultsStayBitIdentical) {
+  // Deterministic net faults at the agentd layer: netdrop severs the
+  // connection on job receipt (requeue path), netgarbage corrupts an
+  // answer after its CRC (corruption path). Prove the plan actually
+  // fires before trusting the run.
+  const std::vector<run::JobSpec> sweep = six_cell_sweep();
+  const char* plan_text = "netdrop:0.25,netgarbage:0.25,seed:1";
+  const run::FaultPlan plan = run::FaultPlan::parse(plan_text);
+  const auto tasks = static_cast<std::uint32_t>(sweep.size());
+  bool drop_fires = false;
+  bool garbage_fires = false;
+  for (std::uint32_t t = 0; t < tasks; ++t) {
+    // First attempts always happen, so first-attempt faults always fire.
+    if (plan.decide(t, 0) == run::FaultPlan::Action::kNetDrop) {
+      drop_fires = true;
+    }
+    if (plan.decide(t, 0) == run::FaultPlan::Action::kNetGarbage) {
+      garbage_fires = true;
+    }
+  }
+  ASSERT_TRUE(drop_fires) << "seed does not exercise netdrop; change it";
+  ASSERT_TRUE(garbage_fires) << "seed does not exercise netgarbage";
+  // Every task must reach a clean attempt early enough that collateral
+  // requeues (siblings of a dropped connection) cannot exhaust budget 8.
+  for (std::uint32_t t = 0; t < tasks; ++t) {
+    bool ok = false;
+    for (std::uint32_t a = 0; a < 4 && !ok; ++a) {
+      ok = plan.decide(t, a) == run::FaultPlan::Action::kNone;
+    }
+    ASSERT_TRUE(ok) << "task " << t << " has no clean attempt in 4";
+  }
+
+  const auto reference = reference_results(sweep);
+  ScopedFaultEnv env(plan_text);  // agentds inherit across fork/exec
+  AgentProc agent1(2);
+  AgentProc agent2(2);
+  obs::set_counters_enabled(true);
+  const std::uint64_t requeued_before = counter_value("net.cells_requeued");
+
+  DistributedPoolConfig cfg = test_config({agent1.addr(), agent2.addr()});
+  cfg.max_attempts = 8;
+  DistributedPool pool(cfg);
+  const auto results = pool.run(sweep);
+  obs::set_counters_enabled(false);
+
+  expect_identical(reference, results, sweep);
+  EXPECT_GT(counter_value("net.cells_requeued"), requeued_before);
+}
+
+TEST(DistributedTest, HandshakeVersionMismatchIsRejected) {
+  AgentProc agent(1);
+
+  // Raw client: connect, send a kHello with an alien protocol version,
+  // expect a kError naming the mismatch followed by connection close.
+  std::string error;
+  Fd fd = connect_tcp_start(agent.addr(), error);
+  ASSERT_TRUE(fd.valid()) << error;
+  struct pollfd pfd = {fd.get(), POLLOUT, 0};
+  ASSERT_GT(::poll(&pfd, 1, 5000), 0);
+  ASSERT_TRUE(connect_tcp_finish(fd.get(), error)) << error;
+
+  FrameConn conn(std::move(fd));
+  Hello hello;
+  hello.protocol = 999;
+  ASSERT_TRUE(conn.send(wire::encode_frame(wire::FrameType::kHello, 0, 0,
+                                           encode_hello(hello))));
+  bool got_error = false;
+  bool closed = false;
+  for (int spin = 0; spin < 500 && !got_error; ++spin) {
+    struct pollfd rd = {conn.fd(), POLLIN, 0};
+    ::poll(&rd, 1, 100);
+    const FrameConn::ReadStatus status = conn.fill();
+    wire::FrameHeader header;
+    std::vector<std::uint8_t> body;
+    std::string corrupt;
+    while (conn.frames().next(header, body, corrupt) ==
+           run::FrameAssembler::Status::kFrame) {
+      ASSERT_EQ(header.type, wire::FrameType::kError);
+      const std::string message = wire::decode_error(body);
+      EXPECT_NE(message.find("version mismatch"), std::string::npos)
+          << message;
+      got_error = true;
+    }
+    if (status == FrameConn::ReadStatus::kClosed) {
+      closed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(got_error) << "agentd never answered the bad hello";
+  // The agent must also close the rejected session (possibly a beat
+  // after the kError frame).
+  for (int spin = 0; spin < 500 && !closed; ++spin) {
+    struct pollfd rd = {conn.fd(), POLLIN, 0};
+    ::poll(&rd, 1, 100);
+    closed = conn.fill() == FrameConn::ReadStatus::kClosed;
+  }
+  EXPECT_TRUE(closed);
+}
+
+TEST(DistributedTest, CoordinatorRejectsWrongAgentVersion) {
+  // The mirror image: a DistributedPool pointed at something that
+  // answers with the wrong protocol version must abandon the agent and,
+  // it being the only one, fail the sweep naming the mismatch. A fake
+  // agent (this test) welcomes with version 999.
+  Fd listener = listen_tcp("127.0.0.1", 0);
+  const HostPort addr{"127.0.0.1", local_port(listener.get())};
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Fake agentd: accept, read the hello, answer kWelcome{protocol 999}.
+    for (int spin = 0; spin < 5000; ++spin) {
+      Fd conn_fd = accept_tcp(listener.get());
+      if (!conn_fd.valid()) {
+        ::usleep(1000);
+        continue;
+      }
+      FrameConn conn(std::move(conn_fd));
+      Welcome welcome;
+      welcome.protocol = 999;
+      welcome.slots = 1;
+      conn.send(wire::encode_frame(wire::FrameType::kWelcome, 0, 0,
+                                   encode_welcome(welcome)));
+      while (conn.flush() && conn.wants_write()) ::usleep(1000);
+      ::usleep(200000);  // hold the socket open while the pool reacts
+      ::_exit(0);
+    }
+    ::_exit(1);
+  }
+  listener.reset();  // the child owns the listening socket now
+
+  DistributedPoolConfig cfg = test_config({addr});
+  cfg.connect_attempts = 2;
+  DistributedPool pool(cfg);
+  try {
+    pool.run(six_cell_sweep());
+    FAIL() << "expected version mismatch to fail the sweep";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no usable agents"), std::string::npos) << what;
+    EXPECT_NE(what.find("version mismatch"), std::string::npos) << what;
+  }
+  ::kill(child, SIGKILL);
+  ::waitpid(child, nullptr, 0);
+}
+
+TEST(DistributedTest, NoUsableAgentsThrowsWithPerAgentDetail) {
+  // An ephemeral port that was bound and released: nothing listens there.
+  Fd probe = listen_tcp("127.0.0.1", 0);
+  const HostPort dead{"127.0.0.1", local_port(probe.get())};
+  probe.reset();
+
+  DistributedPoolConfig cfg = test_config({dead});
+  cfg.connect_attempts = 2;
+  DistributedPool pool(cfg);
+  try {
+    pool.run(six_cell_sweep());
+    FAIL() << "expected unreachable agents to fail the sweep";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no usable agents"), std::string::npos) << what;
+    EXPECT_NE(what.find(dead.text()), std::string::npos) << what;
+  }
+}
+
+TEST(DistributedTest, ReachabilityProbe) {
+  Fd probe = listen_tcp("127.0.0.1", 0);
+  const HostPort dead{"127.0.0.1", local_port(probe.get())};
+  probe.reset();
+  EXPECT_FALSE(DistributedPool::any_agent_reachable({dead}, 0.2));
+
+  Fd live = listen_tcp("127.0.0.1", 0);
+  const HostPort alive{"127.0.0.1", local_port(live.get())};
+  EXPECT_TRUE(DistributedPool::any_agent_reachable({dead, alive}, 0.5));
+}
+
+TEST(DistributedTest, AgentsFromEnvParsesList) {
+  ::setenv("ESCHED_AGENTS", "127.0.0.1:9555,node1:9556", 1);
+  const std::vector<HostPort> agents = DistributedPool::agents_from_env();
+  ::unsetenv("ESCHED_AGENTS");
+  ASSERT_EQ(agents.size(), 2u);
+  EXPECT_EQ(agents[0], (HostPort{"127.0.0.1", 9555}));
+  EXPECT_EQ(agents[1], (HostPort{"node1", 9556}));
+  EXPECT_TRUE(DistributedPool::agents_from_env().empty());
+}
+
+}  // namespace
+}  // namespace esched::net

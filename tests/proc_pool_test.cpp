@@ -339,6 +339,40 @@ TEST(FaultPlanTest, ParseRejectsMalformedPlans) {
   EXPECT_THROW(FaultPlan::parse("crash:abc"), Error);
 }
 
+TEST(FaultPlanTest, ParsesNetFaultBands) {
+  const FaultPlan plan = FaultPlan::parse(
+      "netdrop:0.1,netslow:0.2,netgarbage:0.3,netslow_seconds:0.7,seed:5");
+  EXPECT_DOUBLE_EQ(plan.net_drop, 0.1);
+  EXPECT_DOUBLE_EQ(plan.net_slow, 0.2);
+  EXPECT_DOUBLE_EQ(plan.net_garbage, 0.3);
+  EXPECT_DOUBLE_EQ(plan.net_slow_seconds, 0.7);
+  EXPECT_EQ(plan.seed, 5u);
+  EXPECT_TRUE(plan.any());
+  EXPECT_THROW(FaultPlan::parse("netdrop:1.5"), Error);
+  EXPECT_THROW(FaultPlan::parse("netslow_seconds:-1"), Error);
+}
+
+TEST(FaultPlanTest, NetBandsDecideDeterministically) {
+  // A saturated net plan: every (task, attempt) lands in one of the three
+  // net bands, the same one every time it is asked.
+  const FaultPlan plan =
+      FaultPlan::parse("netdrop:0.4,netslow:0.3,netgarbage:0.3,seed:11");
+  bool drop = false;
+  bool slow = false;
+  bool garbage = false;
+  for (std::uint32_t t = 0; t < 64; ++t) {
+    const FaultPlan::Action action = plan.decide(t, 0);
+    EXPECT_EQ(action, plan.decide(t, 0));
+    drop = drop || action == FaultPlan::Action::kNetDrop;
+    slow = slow || action == FaultPlan::Action::kNetSlow;
+    garbage = garbage || action == FaultPlan::Action::kNetGarbage;
+    EXPECT_NE(action, FaultPlan::Action::kNone);
+  }
+  EXPECT_TRUE(drop);
+  EXPECT_TRUE(slow);
+  EXPECT_TRUE(garbage);
+}
+
 TEST(FaultPlanTest, DecideIsDeterministicAndAttemptKeyed) {
   const FaultPlan plan = FaultPlan::parse("crash:0.3,hang:0.2,garbage:0.2");
   bool rerolls = false;
