@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <thread>
 #include <utility>
 
 #include "core/fcfs_policy.hpp"
@@ -30,6 +31,7 @@ Options parse_options(int argc, const char* const* argv) {
   opt.tick = args.get_int_or("tick", 10);
   opt.window = static_cast<std::size_t>(args.get_int_or("window", 20));
   opt.jobs = static_cast<std::size_t>(args.get_int_or("jobs", 0));
+  warn_if_oversubscribed(opt.jobs);
   opt.csv = args.has("csv");
   opt.isolate = args.get_or("isolate", "off");
   opt.agents = args.get_or("agents", "");
@@ -69,6 +71,23 @@ Options parse_options(int argc, const char* const* argv) {
     opt.tracer->open(opt.trace_out);
   }
   return opt;
+}
+
+unsigned host_hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+void warn_if_oversubscribed(std::size_t jobs) {
+  static bool warned = false;
+  const unsigned hw = host_hardware_threads();
+  if (warned || jobs <= hw) return;
+  warned = true;
+  std::fprintf(stderr,
+               "esched: --jobs %zu exceeds the host's %u hardware "
+               "threads; results stay bit-identical but wall-clock and "
+               "speedup numbers will be skewed by oversubscription\n",
+               jobs, hw);
 }
 
 trace::Trace load_workload(Workload which, const Options& opt) {

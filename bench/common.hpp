@@ -105,6 +105,18 @@ struct Options {
 /// fails fast with a flag-named error message.
 Options parse_options(int argc, const char* const* argv);
 
+/// std::thread::hardware_concurrency(), floored at 1 — the value every
+/// bench JSON records as "host_hardware_threads" so numbers from
+/// different machines are never compared blind.
+unsigned host_hardware_threads();
+
+/// Warn once per process (stderr) when a requested worker count exceeds
+/// the host's hardware threads: oversubscribed sweeps still produce
+/// bit-identical results, but every wall-clock/speedup number they
+/// report is skewed. parse_options calls this for --jobs; drivers with
+/// their own worker flags should too.
+void warn_if_oversubscribed(std::size_t jobs);
+
 /// Build the workload: synthetic unless --swf was given. Power profiles
 /// are (re-)assigned with the requested ratio unless the SWF file carries
 /// its own power column and the ratio is left at the default. Delegates

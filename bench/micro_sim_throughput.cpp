@@ -17,15 +17,34 @@
 // taking the best of `--reps` repetitions each. `--obs-json FILE` records
 // the numbers (BENCH_obs_overhead.json in the repo, the <2%/<5% overhead
 // contract from DESIGN.md).
+//
+// Sim-core mode (`--sim-core`): the fast-core acceptance bench over a
+// 3-policy x 20-price-ratio grid (one trace; price ratios share the
+// scheduling trajectory). Two timed passes run first, back to back:
+// "before" — the seed configuration (binary-heap event queue, sharing
+// off) on a policy-balanced sample of the grid — and "after" — calendar
+// queue + sharing over all cells. An untimed third pass then re-runs
+// the seed configuration over the full grid and byte-compares every
+// result against the "after" pass (spilled to disk as exact wire
+// encodings), so the bit-identity contract covers all 60 cells while
+// the timed windows stay short enough not to trip sustained-load host
+// throttling. `--scale s|m|l|xl` picks the trace length (1/6/84/900
+// months; xl is ~1M jobs per cell), `--sim-core-json FILE` records the
+// numbers (BENCH_sim_core.json in the repo), and `--min-speedup X`
+// makes the exit status enforce a floor (the CI perf-smoke gate).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 
@@ -34,7 +53,9 @@
 #include "core/knapsack_policy.hpp"
 #include "power/pricing.hpp"
 #include "power/profile.hpp"
+#include "run/spec.hpp"
 #include "run/sweep.hpp"
+#include "run/wire.hpp"
 #include "sim/simulator.hpp"
 #include "trace/synthetic.hpp"
 #include "util/cli.hpp"
@@ -202,6 +223,263 @@ int run_sweep_mode(const CliArgs& args) {
   return identical ? 0 : 1;
 }
 
+// ---- sim-core mode: the fast-core acceptance bench ----
+
+/// Trace length per --scale step. The ANL-BGP-like generator emits
+/// ~1.1k jobs/month, so xl is ~1M jobs per cell.
+std::size_t scale_months(const std::string& scale) {
+  if (scale == "s") return 1;
+  if (scale == "m") return 6;
+  if (scale == "l") return 84;
+  if (scale == "xl") return 900;
+  throw Error("--scale must be s, m, l or xl (got \"" + scale + "\")");
+}
+
+/// Append one result's exact wire encoding (length-prefixed) to `spill`.
+void spill_result(std::FILE* spill, const sim::SimResult& result) {
+  const std::vector<std::uint8_t> bytes = run::wire::encode_result(result);
+  const std::uint64_t n = bytes.size();
+  ESCHED_REQUIRE(std::fwrite(&n, sizeof n, 1, spill) == 1 &&
+                     std::fwrite(bytes.data(), 1, bytes.size(), spill) ==
+                         bytes.size(),
+                 "short write to the sim-core spill file");
+}
+
+/// Read the next spilled encoding and compare it byte-for-byte against
+/// `result`'s. Byte equality of the exact codec is equivalent to
+/// run::results_identical (it covers the same fields), just stricter on
+/// float bit patterns — which is the point of the bit-identity gate.
+bool matches_spilled(std::FILE* spill, const sim::SimResult& result) {
+  std::uint64_t n = 0;
+  if (std::fread(&n, sizeof n, 1, spill) != 1) return false;
+  std::vector<std::uint8_t> stored(n);
+  if (std::fread(stored.data(), 1, n, spill) != n) return false;
+  return stored == run::wire::encode_result(result);
+}
+
+/// Run the sim-core grid once. Each result is handed to `consume` in
+/// submission order and freed immediately afterwards: at --scale=xl the
+/// 60 results hold gigabytes, and carrying the "before" set in memory
+/// while the "after" pass runs slows the timed region measurably (page
+/// pressure), so neither pass may retain its results.
+run::SweepStats run_sim_core_pass(
+    const std::vector<run::SimJob>& sweep, std::size_t jobs, bool sharing,
+    const std::function<void(std::size_t, sim::SimResult&)>& consume) {
+  run::SweepRunner runner(jobs);
+  runner.set_prefix_sharing(sharing);
+  std::vector<sim::SimResult> results = runner.run(sweep);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    consume(i, results[i]);
+    results[i] = sim::SimResult{};
+  }
+  return runner.last_stats();
+}
+
+/// Scoped override of the ESCHED_EVENTQ environment variable; restores
+/// the previous state on destruction.
+class ScopedEventqEnv {
+ public:
+  explicit ScopedEventqEnv(const char* value) {
+    if (const char* prev = std::getenv("ESCHED_EVENTQ")) saved_ = prev;
+    if (value != nullptr) {
+      ::setenv("ESCHED_EVENTQ", value, 1);
+    } else {
+      ::unsetenv("ESCHED_EVENTQ");
+    }
+  }
+  ~ScopedEventqEnv() {
+    if (saved_.has_value()) {
+      ::setenv("ESCHED_EVENTQ", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("ESCHED_EVENTQ");
+    }
+  }
+  ScopedEventqEnv(const ScopedEventqEnv&) = delete;
+  ScopedEventqEnv& operator=(const ScopedEventqEnv&) = delete;
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+int run_sim_core_mode(const CliArgs& args) {
+  const std::string scale = args.get_or("scale", "m");
+  const std::size_t months = scale_months(scale);
+  const auto jobs = static_cast<std::size_t>(args.get_int_or("jobs", 1));
+  bench::warn_if_oversubscribed(jobs);
+
+  // One trace, 3 policies x 20 price ratios. Every cell of one policy
+  // shares the scheduling trajectory (the scheduler sees period
+  // boundaries, never prices), so sharing collapses 60 simulations into
+  // 3 plus 57 re-billings. Built from the declarative spec so the
+  // share/cell keys and the actual trace can never disagree.
+  run::TraceSpec trace_spec;
+  trace_spec.source = "anl-bgp";
+  trace_spec.months = months;
+  trace_spec.seed = 99;
+  trace_spec.power_seed = 99;
+  const auto trace = std::make_shared<const trace::Trace>(
+      run::build_trace(trace_spec));
+
+  std::vector<run::SimJob> sweep;
+  const char* policies[] = {"fcfs", "greedy", "knapsack"};
+  for (const char* policy : policies) {
+    for (int i = 0; i < 20; ++i) {
+      const double ratio = 1.25 + 0.25 * i;
+      run::PricingSpec pricing_spec;
+      pricing_spec.model = "paper";
+      pricing_spec.ratio = ratio;
+      auto spec = std::make_shared<run::JobSpec>();
+      spec->trace = trace_spec;
+      spec->pricing = pricing_spec;
+      spec->policy.name = policy;
+      spec->label = std::string(policy) + "/price=" + std::to_string(ratio);
+      run::SimJob job;
+      job.trace = trace;
+      job.pricing = std::shared_ptr<const power::PricingModel>(
+          run::build_pricing(pricing_spec));
+      job.make_policy = [name = std::string(policy)] {
+        return core::make_policy_by_name(name);
+      };
+      job.label = spec->label;
+      job.spec = std::move(spec);
+      sweep.push_back(std::move(job));
+    }
+  }
+
+  // Three passes. The two *timed* ones run first, back to back, so they
+  // see comparable host conditions (a 60-cell xl "before" pass is ~2 min
+  // of sustained load, enough for shared hosts to throttle whatever runs
+  // next — measured 1.5-2x inflation of the second pass):
+  //   1. "before" (timed): the seed configuration — binary-heap event
+  //      queue, no trajectory sharing — on a policy-balanced sample of
+  //      the grid. Per-cell cost is ratio-independent, so the sample's
+  //      jobs/sec is the full grid's.
+  //   2. "after" (timed): calendar queue + sharing, all cells; every
+  //      result's exact wire encoding is spilled to disk (outside the
+  //      timed region) and the results are freed.
+  //   3. Identity check (untimed): the seed configuration over the FULL
+  //      grid, each result byte-compared against pass 2's spill. The
+  //      bit-identity contract is checked for all cells against the
+  //      seed configuration itself; only the throughput baseline is
+  //      sampled.
+  // Same worker count throughout.
+  std::vector<run::SimJob> before_sample;
+  for (std::size_t p = 0; p < 3; ++p) {
+    // Two cells per policy, ratios chosen from both ends of the grid.
+    before_sample.push_back(sweep[p * 20]);
+    before_sample.push_back(sweep[p * 20 + 10]);
+  }
+  std::FILE* spill = std::tmpfile();
+  ESCHED_REQUIRE(spill != nullptr, "cannot create the sim-core spill file");
+  run::SweepStats before_stats, after_stats;
+  bool identical = true;
+  {
+    ScopedEventqEnv heap("heap");
+    before_stats = run_sim_core_pass(
+        before_sample, jobs, /*sharing=*/false,
+        [](std::size_t, sim::SimResult&) {});
+  }
+  {
+    ScopedEventqEnv calendar(nullptr);
+    after_stats = run_sim_core_pass(
+        sweep, jobs, /*sharing=*/true,
+        [&](std::size_t, sim::SimResult& r) { spill_result(spill, r); });
+  }
+  std::rewind(spill);
+  {
+    ScopedEventqEnv heap("heap");
+    run_sim_core_pass(sweep, jobs, /*sharing=*/false,
+                      [&](std::size_t, sim::SimResult& r) {
+                        identical = identical && matches_spilled(spill, r);
+                      });
+  }
+  std::fclose(spill);
+
+  const auto total_jobs =
+      static_cast<double>(sweep.size()) * static_cast<double>(trace->size());
+  const auto sample_jobs = static_cast<double>(before_sample.size()) *
+                           static_cast<double>(trace->size());
+  const double before_jps = before_stats.wall_seconds > 0.0
+                                ? sample_jobs / before_stats.wall_seconds
+                                : 0.0;
+  const double after_jps = after_stats.wall_seconds > 0.0
+                               ? total_jobs / after_stats.wall_seconds
+                               : 0.0;
+  const double speedup = before_jps > 0.0 ? after_jps / before_jps : 0.0;
+
+  std::printf("== micro_sim_throughput --sim-core ==\n");
+  std::printf(
+      "scale=%s months=%zu cells=%zu trace_jobs_per_cell=%zu jobs=%zu\n",
+      scale.c_str(), months, sweep.size(), trace->size(), jobs);
+  std::printf(
+      "before (heap, sharing off): wall=%.3fs  %.0f jobs/sec  "
+      "(%zu-cell sample)\n",
+      before_stats.wall_seconds, before_jps, before_sample.size());
+  std::printf(
+      "after  (calendar, sharing):  wall=%.3fs  %.0f jobs/sec  "
+      "(%zu simulated, %zu copied, %zu rebilled)\n",
+      after_stats.wall_seconds, after_jps, after_stats.simulated_cells,
+      after_stats.copied_cells, after_stats.rebilled_cells);
+  std::printf("speedup=%.2fx  bit-identical=%s (all %zu cells vs seed "
+              "configuration)\n",
+              speedup, identical ? "yes" : "NO", sweep.size());
+
+  if (const auto json = args.get("sim-core-json")) {
+    std::FILE* f = std::fopen(json->c_str(), "w");
+    ESCHED_REQUIRE(f != nullptr, "cannot open " + *json + " for writing");
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"bench\": \"micro_sim_throughput --sim-core\",\n"
+        "  \"scale\": \"%s\",\n"
+        "  \"grid\": {\"policies\": 3, \"price_ratios\": 20, \"cells\": "
+        "%zu, \"months\": %zu,\n"
+        "           \"trace_jobs_per_cell\": %zu, \"total_trace_jobs\": "
+        "%.0f},\n"
+        "  \"host_hardware_threads\": %u,\n"
+        "  \"jobs\": %zu,\n"
+        "  \"before\": {\"eventq\": \"heap\", \"prefix_sharing\": false,\n"
+        "    \"cells_timed\": %zu, \"wall_seconds\": %.6f, "
+        "\"jobs_per_sec\": %.0f},\n"
+        "  \"after\": {\"eventq\": \"calendar\", \"prefix_sharing\": "
+        "true,\n"
+        "    \"cells_timed\": %zu, \"wall_seconds\": %.6f, "
+        "\"jobs_per_sec\": %.0f,\n"
+        "    \"simulated_cells\": %zu, \"copied_cells\": %zu, "
+        "\"rebilled_cells\": %zu},\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"bit_identical\": %s,\n"
+        "  \"note\": \"before = the seed configuration (binary-heap "
+        "event queue, trajectory sharing off) timed on a policy-balanced "
+        "sample (per-cell cost is price-ratio-independent); speedup = "
+        "ratio of jobs/sec; bit_identical = every cell's result "
+        "byte-compared against an untimed full run of the seed "
+        "configuration\"\n"
+        "}\n",
+        scale.c_str(), sweep.size(), months, trace->size(), total_jobs,
+        bench::host_hardware_threads(), jobs, before_sample.size(),
+        before_stats.wall_seconds, before_jps, sweep.size(),
+        after_stats.wall_seconds, after_jps, after_stats.simulated_cells,
+        after_stats.copied_cells, after_stats.rebilled_cells, speedup,
+        identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json->c_str());
+  }
+
+  if (!identical) return 1;
+  if (const auto min = args.get("min-speedup")) {
+    const double floor = std::strtod(min->c_str(), nullptr);
+    if (speedup < floor) {
+      std::fprintf(stderr,
+                   "sim-core: speedup %.2fx is below the --min-speedup "
+                   "floor %.2fx\n",
+                   speedup, floor);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 // ---- obs-overhead mode: what does the instrumentation cost? ----
 
 /// Best-of-reps seconds for one pass of all three policies over `t`.
@@ -316,6 +594,7 @@ int run_obs_overhead_mode(const CliArgs& args) {
 int main(int argc, char** argv) {
   const esched::CliArgs args = esched::CliArgs::parse(argc, argv);
   if (args.has("sweep")) return run_sweep_mode(args);
+  if (args.has("sim-core")) return run_sim_core_mode(args);
   if (args.has("obs-overhead")) return run_obs_overhead_mode(args);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -20,10 +20,17 @@ echo "== tier-1: TSan build of the runner tests =="
 # tracer mutex are exercised under real concurrency here.
 cmake -B build-tsan -S . -DESCHED_SANITIZE=thread \
   -DESCHED_BUILD_BENCH=OFF -DESCHED_BUILD_EXAMPLES=OFF
+# event_queue_test and snapshot_fork_test are single-threaded but pin the
+# fast-core determinism contracts (calendar-vs-heap differential,
+# fork-at-every-prefix); running them in the TSan tree keeps the sanitized
+# build honest about the same code the threaded sweep tests exercise.
 cmake --build build-tsan -j \
-  --target thread_pool_test sweep_runner_test obs_registry_test
+  --target thread_pool_test sweep_runner_test obs_registry_test \
+  event_queue_test snapshot_fork_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/sweep_runner_test
 ./build-tsan/tests/obs_registry_test
+./build-tsan/tests/event_queue_test
+./build-tsan/tests/snapshot_fork_test
 
 echo "== tier-1: all green =="

@@ -769,10 +769,36 @@ std::vector<sim::SimResult> DistributedPool::run(
                  "DistributedPool: no agents configured (pass "
                  "DistributedPoolConfig::agents or set ESCHED_AGENTS)");
 
+  // Identical-cell dedup, exactly as in SubprocessPool::run: only
+  // representatives of each distinct cell_key cross the wire; duplicates
+  // copy the representative's (bit-identical) result afterwards.
+  const run::CellGroups groups = run::group_cells(
+      sweep, run::SweepRunner::prefix_sharing_default());
+  std::vector<run::JobSpec> uniques;
+  uniques.reserve(groups.unique_indices.size());
+  for (const std::size_t i : groups.unique_indices) {
+    uniques.push_back(sweep[i]);
+  }
+
+  run::ProgressCallback progress;
+  if (progress_) {
+    progress = [this,
+                total = sweep.size()](const run::SweepProgress& inner) {
+      run::SweepProgress p = inner;
+      p.total = total;
+      p.eta_seconds = p.done > 0 ? p.elapsed_seconds /
+                                       static_cast<double>(p.done) *
+                                       static_cast<double>(total - p.done)
+                                 : 0.0;
+      progress_(p);
+    };
+  }
+
   run::SigpipeGuard sigpipe;
-  Coordinator coordinator(config_, sweep, stats_, progress_, tracer_);
+  Coordinator coordinator(config_, uniques, stats_, progress, tracer_);
+  std::vector<sim::SimResult> unique_results;
   try {
-    return coordinator.run();
+    unique_results = coordinator.run();
   } catch (...) {
     // Any failure — budget exhaustion, deterministic kError, a throwing
     // progress callback — closes every connection before propagating; the
@@ -780,6 +806,26 @@ std::vector<sim::SimResult> DistributedPool::run(
     coordinator.disconnect_all();
     throw;
   }
+
+  std::vector<sim::SimResult> results;
+  results.reserve(sweep.size());
+  std::size_t done = uniques.size();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    results.push_back(unique_results[groups.rep[i]]);
+    if (groups.unique_indices[groups.rep[i]] == i) continue;
+    if (progress_) {
+      run::SweepProgress p;
+      p.done = ++done;
+      p.total = sweep.size();
+      p.elapsed_seconds = stats_.wall_seconds;
+      p.eta_seconds = 0.0;
+      progress_(p);
+    }
+  }
+  stats_.tasks = sweep.size();
+  stats_.simulated_cells = uniques.size();
+  stats_.copied_cells = sweep.size() - uniques.size();
+  return results;
 }
 
 }  // namespace esched::net

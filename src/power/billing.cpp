@@ -26,40 +26,69 @@ void BillingMeter::finish(TimeSec t) {
   finished_ = true;
 }
 
+void BillingMeter::refresh_segment() {
+  // Split at price changes *and* day boundaries: per-day bills need the
+  // day split even when the price is continuous across midnight.
+  const TimeSec price_edge = pricing_.next_price_change(cursor_);
+  ESCHED_REQUIRE(price_edge > cursor_,
+                 "pricing model returned a non-advancing boundary");
+  const TimeSec day_edge = start_of_day(cursor_) + kSecondsPerDay;
+  seg_begin_ = cursor_;
+  seg_end_ = std::min(price_edge, day_edge);
+  seg_price_ = pricing_.price_at(cursor_);
+  seg_period_ = pricing_.period_at(cursor_);
+  seg_day_ = static_cast<std::size_t>(day_index(cursor_));
+}
+
 void BillingMeter::integrate_to(TimeSec t) {
   while (cursor_ < t) {
-    // Split at price changes *and* day boundaries: per-day bills need the
-    // day split even when the price is continuous across midnight.
-    const TimeSec price_edge = pricing_.next_price_change(cursor_);
-    ESCHED_REQUIRE(price_edge > cursor_,
-                   "pricing model returned a non-advancing boundary");
-    const TimeSec day_edge = start_of_day(cursor_) + kSecondsPerDay;
-    const TimeSec seg_end = std::min({t, price_edge, day_edge});
+    if (cursor_ >= seg_end_ || cursor_ < seg_begin_) refresh_segment();
+    const TimeSec seg_end = std::min(t, seg_end_);
 
     const auto seconds = static_cast<double>(seg_end - cursor_);
     const Watts billed_watts =
         facility_ != nullptr ? facility_->facility_watts(power_, cursor_)
                              : power_;
     const Joules joules = billed_watts * seconds;
-    const Money price = pricing_.price_at(cursor_);
-    const Money cost = joules_to_kwh(joules) * price;
+    const Money cost = joules_to_kwh(joules) * seg_price_;
 
     energy_total_ += joules;
     it_energy_total_ += power_ * seconds;
     bill_total_ += cost;
-    if (pricing_.period_at(cursor_) == PricePeriod::kOnPeak) {
+    if (seg_period_ == PricePeriod::kOnPeak) {
       energy_on_ += joules;
       bill_on_ += cost;
     } else {
       energy_off_ += joules;
       bill_off_ += cost;
     }
-    const auto day = static_cast<std::size_t>(day_index(cursor_));
-    if (daily_.size() <= day) daily_.resize(day + 1, 0.0);
-    daily_[day] += cost;
+    if (daily_.size() <= seg_day_) daily_.resize(seg_day_ + 1, 0.0);
+    daily_[seg_day_] += cost;
 
     cursor_ = seg_end;
   }
+}
+
+BillingMeter::State BillingMeter::state() const {
+  return State{cursor_,   power_,     finished_, bill_total_,
+               energy_total_, it_energy_total_, bill_on_,  bill_off_,
+               energy_on_,    energy_off_,      daily_};
+}
+
+void BillingMeter::restore(const State& s) {
+  cursor_ = s.cursor;
+  seg_begin_ = 0;
+  seg_end_ = 0;  // invalidate the segment cache; it is derived state
+  power_ = s.power;
+  finished_ = s.finished;
+  bill_total_ = s.bill_total;
+  energy_total_ = s.energy_total;
+  it_energy_total_ = s.it_energy_total;
+  bill_on_ = s.bill_on;
+  bill_off_ = s.bill_off;
+  energy_on_ = s.energy_on;
+  energy_off_ = s.energy_off;
+  daily_ = s.daily;
 }
 
 Money BillingMeter::bill_in(PricePeriod period) const {

@@ -14,6 +14,8 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <unordered_map>
+
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "run/endpoint.hpp"
@@ -457,11 +459,40 @@ std::vector<sim::SimResult> SubprocessPool::run(
                  "SubprocessPool: esched-worker binary not found (set "
                  "ESCHED_WORKER or pass SubprocessPoolConfig::worker_path)");
 
+  // Identical-cell dedup: dispatch one representative per distinct
+  // cell_key and copy its result into the duplicates (equal cell_key
+  // implies bit-identical results). Trajectory sharing stays in-process
+  // only — a leader's recorded power signal cannot cross the wire.
+  // ESCHED_PREFIX_SHARE=off disables this too (differential testing).
+  const CellGroups groups =
+      group_cells(sweep, SweepRunner::prefix_sharing_default());
+  std::vector<JobSpec> uniques;
+  uniques.reserve(groups.unique_indices.size());
+  for (const std::size_t i : groups.unique_indices) {
+    uniques.push_back(sweep[i]);
+  }
+
+  // The supervisor reports progress against the deduped sweep; rescale
+  // to the caller-visible total (duplicates settle after the run).
+  ProgressCallback progress;
+  if (progress_) {
+    progress = [this, total = sweep.size()](const SweepProgress& inner) {
+      SweepProgress p = inner;
+      p.total = total;
+      p.eta_seconds = p.done > 0 ? p.elapsed_seconds /
+                                       static_cast<double>(p.done) *
+                                       static_cast<double>(total - p.done)
+                                 : 0.0;
+      progress_(p);
+    };
+  }
+
   SigpipeGuard sigpipe;
-  Supervisor supervisor(config_, std::move(worker), sweep, stats_,
-                        progress_, tracer_);
+  Supervisor supervisor(config_, std::move(worker), uniques, stats_,
+                        progress, tracer_);
+  std::vector<sim::SimResult> unique_results;
   try {
-    return supervisor.run();
+    unique_results = supervisor.run();
   } catch (...) {
     // Any failure — budget exhaustion, deterministic kError, a throwing
     // progress callback — settles the pool before propagating: every
@@ -469,6 +500,28 @@ std::vector<sim::SimResult> SubprocessPool::run(
     supervisor.shutdown(/*force=*/true);
     throw;
   }
+
+  const auto wall_start = Clock::now();  // for duplicate progress stamps
+  std::vector<sim::SimResult> results;
+  results.reserve(sweep.size());
+  std::size_t done = uniques.size();
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    results.push_back(unique_results[groups.rep[i]]);
+    if (groups.unique_indices[groups.rep[i]] == i) continue;
+    // A duplicate: count it toward progress now that it has a result.
+    if (progress_) {
+      SweepProgress p;
+      p.done = ++done;
+      p.total = sweep.size();
+      p.elapsed_seconds = stats_.wall_seconds + seconds_since(wall_start);
+      p.eta_seconds = 0.0;
+      progress_(p);
+    }
+  }
+  stats_.tasks = sweep.size();
+  stats_.simulated_cells = uniques.size();
+  stats_.copied_cells = sweep.size() - uniques.size();
+  return results;
 }
 
 }  // namespace esched::run

@@ -1,5 +1,8 @@
 #include "run/spec.hpp"
 
+#include <cstdio>
+#include <unordered_map>
+
 #include "power/profile.hpp"
 #include "trace/swf.hpp"
 #include "trace/synthetic.hpp"
@@ -13,6 +16,15 @@ namespace {
 /// spec nor the workload seed pins one (the bench loader's historical
 /// default; changing it would silently change every default bench table).
 constexpr std::uint64_t kCanonicalPowerSeed = 0xe5c4edULL;
+
+/// Exact (hexfloat) rendering of a double for key strings — two doubles
+/// map to the same token iff they are bit-equal (modulo -0.0/0.0, which
+/// no spec field distinguishes).
+std::string key_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
 
 }  // namespace
 
@@ -70,6 +82,100 @@ sim::SimResult execute_job_spec(const JobSpec& spec) {
   config.tracer = nullptr;
   config.facility_model = nullptr;
   return sim::simulate(trace, *pricing, *policy, config);
+}
+
+std::string share_key(const JobSpec& spec) {
+  // Every field that can change the scheduling trajectory, rendered
+  // exactly. Tariff prices are deliberately absent: the scheduler sees
+  // only the period structure, and all spec-constructible tariffs of one
+  // model share it ("paper"/"onoff" both mean OnOffPeakPricing with the
+  // paper's default windows; "flat" has its own). config.tracer and
+  // config.facility_model never appear in a shareable cell (callers gate
+  // on both being null — tracing is observability-only anyway, and a
+  // facility model would make metering non-replayable here).
+  const TraceSpec& t = spec.trace;
+  const sim::SimConfig& c = spec.config;
+  const core::SchedulerConfig& s = c.scheduler;
+  std::string key;
+  key.reserve(192);
+  key += "trace:";
+  key += t.source;
+  key += ',';
+  key += t.swf_path;
+  key += ',';
+  key += std::to_string(t.months);
+  key += ',';
+  key += std::to_string(t.seed);
+  key += ',';
+  key += key_double(t.power_ratio);
+  key += ',';
+  key += t.force_power_ratio ? '1' : '0';
+  key += ',';
+  key += std::to_string(t.power_seed);
+  key += "|policy:";
+  key += spec.policy.name;
+  key += "|cfg:";
+  key += std::to_string(c.tick_interval);
+  key += ',';
+  key += key_double(c.idle_watts_per_node);
+  key += ',';
+  key += c.contiguous_allocation ? '1' : '0';
+  key += c.honor_queue_priority ? '1' : '0';
+  key += c.honor_dependencies ? '1' : '0';
+  key += ',';
+  key += std::to_string(c.max_passes_per_tick);
+  key += ',';
+  key += c.record_daily_curves ? '1' : '0';
+  key += ',';
+  key += std::to_string(c.daily_curve_bins);
+  key += "|sched:";
+  key += std::to_string(s.window_size);
+  key += ',';
+  key += s.backfill_beyond_window ? '1' : '0';
+  key += ',';
+  key += std::to_string(static_cast<int>(s.backfill_mode));
+  key += ',';
+  key += std::to_string(s.conservative_depth);
+  key += ',';
+  key += std::to_string(s.starvation_age);
+  key += "|periods:";
+  key += spec.pricing.model == "flat" ? "flat" : "onoff-paper-default";
+  return key;
+}
+
+std::string cell_key(const JobSpec& spec) {
+  std::string key = share_key(spec);
+  key += "|price:";
+  key += key_double(spec.pricing.off_peak_price);
+  // FlatPricing ignores the ratio, so two flat specs differing only in
+  // ratio are the same cell.
+  if (spec.pricing.model != "flat") {
+    key += ',';
+    key += key_double(spec.pricing.ratio);
+  }
+  return key;
+}
+
+CellGroups group_cells(const std::vector<JobSpec>& sweep, bool enabled) {
+  CellGroups groups;
+  groups.rep.resize(sweep.size());
+  groups.unique_indices.reserve(sweep.size());
+  std::unordered_map<std::string, std::size_t> seen;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const JobSpec& spec = sweep[i];
+    const bool shareable = enabled && spec.config.tracer == nullptr &&
+                           spec.config.facility_model == nullptr;
+    if (shareable) {
+      const auto [it, inserted] =
+          seen.emplace(cell_key(spec), groups.unique_indices.size());
+      groups.rep[i] = it->second;
+      if (!inserted) continue;
+    } else {
+      groups.rep[i] = groups.unique_indices.size();
+    }
+    groups.unique_indices.push_back(i);
+  }
+  return groups;
 }
 
 }  // namespace esched::run

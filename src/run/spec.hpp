@@ -14,9 +14,11 @@
 // the parent's inputs exactly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/policy.hpp"
 #include "power/pricing.hpp"
@@ -95,5 +97,40 @@ std::unique_ptr<core::SchedulingPolicy> build_policy(const PolicySpec& spec);
 /// the same cell in-process (results_identical), because every builder is
 /// deterministic in the spec.
 sim::SimResult execute_job_spec(const JobSpec& spec);
+
+/// Trajectory-sharing key (the snapshot-compatibility key the sweep
+/// runners group by). Two spec cells with equal share_key provably
+/// produce identical scheduling trajectories — same trace, same policy,
+/// same behaviour-affecting config, and a tariff with the same
+/// *period-boundary structure* (the scheduler only ever sees
+/// PricePeriod and next_price_change, never prices; see
+/// core/policy.hpp) — and can therefore differ only in metering. The
+/// in-process runner simulates one leader per group and re-bills the
+/// rest from the leader's recorded power signal (sim::rebill).
+std::string share_key(const JobSpec& spec);
+
+/// Full-identity key: cells with equal cell_key produce bit-identical
+/// SimResults (share_key plus the tariff's actual price levels). The
+/// proc/tcp pools dispatch one representative per distinct cell_key and
+/// copy its result into the duplicates.
+std::string cell_key(const JobSpec& spec);
+
+/// Identical-cell grouping of a spec sweep (by cell_key) for the
+/// multi-process pools, which can exploit full identity but not
+/// trajectory sharing (a recorded power signal cannot cross the wire).
+struct CellGroups {
+  /// For each sweep index, the position in `unique_indices` of the
+  /// representative whose result it shares (its own position when it is
+  /// the representative).
+  std::vector<std::size_t> rep;
+  /// Sweep indices of the representatives, ascending.
+  std::vector<std::size_t> unique_indices;
+};
+
+/// Group a sweep by cell_key. When `enabled` is false — or a cell
+/// carries a facility model or tracer, which cell_key cannot see —
+/// the affected cells are each their own representative. Safe to copy
+/// across a group because equal cell_key implies bit-identical results.
+CellGroups group_cells(const std::vector<JobSpec>& sweep, bool enabled);
 
 }  // namespace esched::run

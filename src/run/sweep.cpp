@@ -8,9 +8,12 @@
 #include <future>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
 
 #include "obs/tracer.hpp"
+#include "run/spec.hpp"
 #include "run/thread_pool.hpp"
 #include "util/error.hpp"
 
@@ -45,14 +48,65 @@ struct TaskOutcome {
   double seconds = 0.0;
 };
 
-TaskOutcome execute(const SimJob& job) {
+/// Simulate one cell, optionally recording its power signal (for
+/// trajectory-sharing leaders). With a null signal this is exactly
+/// sim::simulate.
+TaskOutcome execute(const SimJob& job, sim::PowerSignal* signal) {
   const auto start = Clock::now();
   std::unique_ptr<core::SchedulingPolicy> policy = job.make_policy();
   ESCHED_REQUIRE(policy != nullptr, "SimJob factory returned null policy");
   TaskOutcome out;
-  out.result = sim::simulate(*job.trace, *job.pricing, *policy, job.config);
+  sim::Simulation simulation(*job.trace, *job.pricing, *policy, job.config);
+  if (signal != nullptr) simulation.record_power_signal(signal);
+  out.result = simulation.finish();
   out.seconds = seconds_since(start);
   return out;
+}
+
+/// How one sweep cell gets its result.
+enum class PlanKind : std::uint8_t {
+  kSimulate,  ///< run the simulation (possibly recording its signal)
+  kCopy,      ///< copy the result of an identical cell (same cell_key)
+  kRebill,    ///< copy a share_key leader's result, re-bill its signal
+};
+
+struct CellPlan {
+  PlanKind kind = PlanKind::kSimulate;
+  std::size_t src = 0;         ///< leader index (kCopy / kRebill)
+  bool record_signal = false;  ///< leader must record its power signal
+};
+
+/// Group the sweep by cell_key / share_key (run/spec.hpp). Only cells
+/// carrying a JobSpec and free of non-shareable config (tracer, facility
+/// model) participate; everything else simulates in full. Leaders always
+/// precede their followers in submission order.
+std::vector<CellPlan> plan_sharing(const std::vector<SimJob>& sweep,
+                                   bool enabled) {
+  std::vector<CellPlan> plan(sweep.size());
+  if (!enabled) return plan;
+  std::unordered_map<std::string, std::size_t> cell_leader;
+  std::unordered_map<std::string, std::size_t> share_leader;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SimJob& job = sweep[i];
+    if (job.spec == nullptr || job.config.tracer != nullptr ||
+        job.config.facility_model != nullptr) {
+      continue;  // not shareable; simulate in full
+    }
+    const std::string cell = cell_key(*job.spec);
+    if (const auto it = cell_leader.find(cell); it != cell_leader.end()) {
+      plan[i] = {PlanKind::kCopy, it->second, false};
+      continue;
+    }
+    cell_leader.emplace(cell, i);
+    const std::string share = share_key(*job.spec);
+    if (const auto it = share_leader.find(share); it != share_leader.end()) {
+      plan[i] = {PlanKind::kRebill, it->second, false};
+      plan[it->second].record_signal = true;
+    } else {
+      share_leader.emplace(share, i);
+    }
+  }
+  return plan;
 }
 
 }  // namespace
@@ -73,6 +127,13 @@ std::size_t SweepRunner::default_jobs() {
   return hw >= 1 ? hw : 1;
 }
 
+bool SweepRunner::prefix_sharing_default() {
+  if (const char* env = std::getenv("ESCHED_PREFIX_SHARE")) {
+    return std::string_view(env) != "off";
+  }
+  return true;
+}
+
 std::vector<sim::SimResult> SweepRunner::run(
     const std::vector<SimJob>& sweep) {
   for (const SimJob& job : sweep) {
@@ -82,11 +143,23 @@ std::vector<sim::SimResult> SweepRunner::run(
                    "SimJob without a policy factory");
   }
 
+  const std::vector<CellPlan> plan = plan_sharing(sweep, prefix_sharing_);
+  std::vector<std::size_t> leaders;
+  leaders.reserve(sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (plan[i].kind == PlanKind::kSimulate) leaders.push_back(i);
+  }
+
   const std::size_t workers =
-      std::max<std::size_t>(1, std::min(jobs_, sweep.size()));
+      std::max<std::size_t>(1, std::min(jobs_, leaders.size()));
   stats_ = SweepStats{};
   stats_.tasks = sweep.size();
   stats_.threads = workers;
+  stats_.simulated_cells = leaders.size();
+  for (const CellPlan& p : plan) {
+    if (p.kind == PlanKind::kCopy) ++stats_.copied_cells;
+    if (p.kind == PlanKind::kRebill) ++stats_.rebilled_cells;
+  }
   stats_.worker_busy_seconds.assign(workers, 0.0);
   const auto wall_start = Clock::now();
 
@@ -94,6 +167,27 @@ std::vector<sim::SimResult> SweepRunner::run(
   // invocations (the documented contract of ProgressCallback).
   std::mutex progress_mutex;
   std::size_t completed = 0;
+  const auto report_progress = [&] {
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    ++completed;
+    if (!progress_) return;
+    SweepProgress progress;
+    progress.done = completed;
+    progress.total = sweep.size();
+    progress.elapsed_seconds = seconds_since(wall_start);
+    progress.eta_seconds =
+        progress.elapsed_seconds /
+        static_cast<double>(completed) *
+        static_cast<double>(sweep.size() - completed);
+    progress_(progress);
+  };
+
+  // Per-index recorded power signals (non-empty only for sharing
+  // leaders) and results/errors, all indexed by submission position so
+  // the follower-materialization pass can address its sources directly.
+  std::vector<sim::PowerSignal> signals(sweep.size());
+  std::vector<TaskOutcome> outcomes(sweep.size());
+  std::vector<std::exception_ptr> errors(sweep.size());
 
   // One task: trace span around the cell, busy-time attribution to the
   // executing worker, then the progress callback. Worker slots are
@@ -106,23 +200,12 @@ std::vector<sim::SimResult> SweepRunner::run(
           "task:" + (job.label.empty() ? std::to_string(index) : job.label);
     }
     obs::SpanGuard span(tracer_, std::move(span_name), "sweep");
-    TaskOutcome out = execute(job);
+    TaskOutcome out = execute(
+        job, plan[index].record_signal ? &signals[index] : nullptr);
     std::size_t slot = ThreadPool::current_index();
     if (slot >= workers) slot = 0;
     stats_.worker_busy_seconds[slot] += out.seconds;
-    if (progress_) {
-      std::lock_guard<std::mutex> lock(progress_mutex);
-      ++completed;
-      SweepProgress progress;
-      progress.done = completed;
-      progress.total = sweep.size();
-      progress.elapsed_seconds = seconds_since(wall_start);
-      progress.eta_seconds =
-          progress.elapsed_seconds /
-          static_cast<double>(completed) *
-          static_cast<double>(sweep.size() - completed);
-      progress_(progress);
-    }
+    report_progress();
     return out;
   };
 
@@ -133,25 +216,21 @@ std::vector<sim::SimResult> SweepRunner::run(
   // first failure would leave the pool half-drained and make "which
   // cells actually ran" depend on scheduling; settling first keeps
   // failure behaviour deterministic and deadlock-free.
-  std::exception_ptr first_error;
-  std::vector<TaskOutcome> outcomes;
-  outcomes.reserve(sweep.size());
   if (workers == 1) {
     // Inline serial execution: the reference the determinism test holds
     // the threaded path to, and free of pool overhead for --jobs 1.
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
+    for (std::size_t i : leaders) {
       try {
-        outcomes.push_back(run_task(sweep[i], i));
+        outcomes[i] = run_task(sweep[i], i);
       } catch (...) {
-        if (!first_error) first_error = std::current_exception();
-        outcomes.emplace_back();
+        errors[i] = std::current_exception();
       }
     }
   } else {
     ThreadPool pool(workers);
     std::vector<std::future<TaskOutcome>> futures;
-    futures.reserve(sweep.size());
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
+    futures.reserve(leaders.size());
+    for (std::size_t i : leaders) {
       const SimJob& job = sweep[i];
       futures.push_back(
           pool.submit([&run_task, &job, i] { return run_task(job, i); }));
@@ -159,13 +238,48 @@ std::vector<sim::SimResult> SweepRunner::run(
     // Collect in submission order; future::get rethrows task exceptions.
     // Every future is drained even after a failure so the pool is fully
     // settled before the first exception surfaces.
-    for (std::future<TaskOutcome>& f : futures) {
+    for (std::size_t k = 0; k < leaders.size(); ++k) {
       try {
-        outcomes.push_back(f.get());
+        outcomes[leaders[k]] = futures[k].get();
       } catch (...) {
-        if (!first_error) first_error = std::current_exception();
-        outcomes.emplace_back();
+        errors[leaders[k]] = std::current_exception();
       }
+    }
+  }
+
+  // Materialize followers, ascending index. A follower's source always
+  // precedes it in submission order, and copy sources may themselves be
+  // re-billed followers — ascending order guarantees the source is
+  // already materialized. A failed leader leaves its followers empty;
+  // the leader's (earlier) exception is the one that propagates.
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (plan[i].kind == PlanKind::kSimulate) continue;
+    const auto start = Clock::now();
+    const std::size_t src = plan[i].src;
+    if (errors[src] == nullptr) {
+      try {
+        outcomes[i].result = outcomes[src].result;
+        if (plan[i].kind == PlanKind::kRebill) {
+          sim::rebill(outcomes[i].result, signals[src], *sweep[i].pricing);
+        }
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    outcomes[i].seconds = seconds_since(start);
+    stats_.worker_busy_seconds[0] += outcomes[i].seconds;
+    try {
+      report_progress();
+    } catch (...) {
+      if (errors[i] == nullptr) errors[i] = std::current_exception();
+    }
+  }
+
+  std::exception_ptr first_error;
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) {
+      first_error = e;
+      break;
     }
   }
 

@@ -62,6 +62,12 @@ struct SimJob {
 struct SweepStats {
   std::size_t tasks = 0;          ///< cells executed
   std::size_t threads = 0;        ///< workers actually used
+  /// Prefix-sharing breakdown (tasks == simulated + copied + rebilled):
+  /// cells simulated in full, cells copied from an identical cell, and
+  /// cells re-billed from a trajectory-sharing leader's power signal.
+  std::size_t simulated_cells = 0;
+  std::size_t copied_cells = 0;
+  std::size_t rebilled_cells = 0;
   double wall_seconds = 0.0;      ///< end-to-end elapsed time
   double cpu_seconds = 0.0;       ///< sum of per-task durations
   double task_min_seconds = 0.0;
@@ -130,11 +136,27 @@ class SweepRunner {
   /// if their SimConfig carries it too). Non-owning; must outlive run().
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Warm-up prefix sharing (on by default; ESCHED_PREFIX_SHARE=off
+  /// disables it process-wide, for differential testing). Cells carrying
+  /// a JobSpec are grouped by run::share_key — cells in one group have
+  /// provably identical scheduling trajectories — and by run::cell_key
+  /// (fully identical cells). Per group, one leader simulates while
+  /// recording its power signal; identical cells copy the leader's
+  /// result, and price-level variants re-bill the signal under their own
+  /// tariff (sim::rebill). The produced results are bit-identical to
+  /// simulating every cell (results_identical; sweep_runner_test pins
+  /// this differentially against the sharing-off path).
+  void set_prefix_sharing(bool on) { prefix_sharing_ = on; }
+  bool prefix_sharing() const { return prefix_sharing_; }
+  /// The default: true unless ESCHED_PREFIX_SHARE=off.
+  static bool prefix_sharing_default();
+
  private:
   std::size_t jobs_;
   SweepStats stats_;
   ProgressCallback progress_;
   obs::Tracer* tracer_ = nullptr;
+  bool prefix_sharing_ = prefix_sharing_default();
 };
 
 /// Non-owning shared_ptr view of a caller-owned trace/tariff (the caller

@@ -20,8 +20,22 @@ NodeCount CountingAllocator::free_nodes() const {
   return cluster_.free_nodes();
 }
 
+void CountingAllocator::reserve(std::size_t max_concurrent) {
+  cluster_.reserve(max_concurrent);
+}
+
 bool CountingAllocator::can_allocate(NodeCount nodes) const {
   return cluster_.fits(nodes);
+}
+
+std::int32_t CountingAllocator::try_allocate_slot(NodeCount nodes,
+                                                  Watts watts_per_node) {
+  if (!cluster_.fits(nodes)) return -1;
+  return cluster_.allocate_slot(nodes, watts_per_node);
+}
+
+void CountingAllocator::release_slot(std::int32_t slot) {
+  cluster_.release_slot(slot);
 }
 
 bool CountingAllocator::try_allocate(JobId job, NodeCount nodes,
@@ -35,6 +49,10 @@ void CountingAllocator::release(JobId job) { cluster_.release(job); }
 
 Watts CountingAllocator::current_power() const {
   return cluster_.current_power();
+}
+
+std::unique_ptr<NodeAllocator> CountingAllocator::clone() const {
+  return std::make_unique<CountingAllocator>(*this);
 }
 
 // ---------------------------------------------------------- Contiguous --
@@ -51,6 +69,11 @@ ContiguousAllocator::ContiguousAllocator(NodeCount total_nodes,
 NodeCount ContiguousAllocator::total_nodes() const { return total_; }
 
 NodeCount ContiguousAllocator::free_nodes() const { return free_; }
+
+void ContiguousAllocator::reserve(std::size_t max_concurrent) {
+  slot_start_.reserve(max_concurrent);
+  free_slots_.reserve(max_concurrent);
+}
 
 std::pair<NodeCount, bool> ContiguousAllocator::best_fit(
     NodeCount nodes) const {
@@ -78,6 +101,46 @@ bool ContiguousAllocator::can_allocate(NodeCount nodes) const {
   return best_fit(nodes).second;
 }
 
+std::int32_t ContiguousAllocator::try_allocate_slot(NodeCount nodes,
+                                                    Watts watts_per_node) {
+  ESCHED_REQUIRE(nodes > 0, "allocation must take nodes");
+  ESCHED_REQUIRE(watts_per_node >= 0.0, "negative job power");
+  const auto [start, found] = best_fit(nodes);
+  if (!found) return -1;
+  by_start_.emplace(start, Allocation{start, nodes, watts_per_node});
+  free_ -= nodes;
+  busy_power_ += watts_per_node * static_cast<double>(nodes);
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slot_start_[static_cast<std::size_t>(slot)] = start;
+  } else {
+    slot = static_cast<std::int32_t>(slot_start_.size());
+    slot_start_.push_back(start);
+  }
+  return slot;
+}
+
+void ContiguousAllocator::release_block(NodeCount start) {
+  const auto block = by_start_.find(start);
+  ESCHED_REQUIRE(block != by_start_.end(), "allocator state corrupted");
+  free_ += block->second.length;
+  busy_power_ -= block->second.watts_per_node *
+                 static_cast<double>(block->second.length);
+  if (busy_power_ < 0.0) busy_power_ = 0.0;
+  by_start_.erase(block);
+}
+
+void ContiguousAllocator::release_slot(std::int32_t slot) {
+  const auto s = static_cast<std::size_t>(slot);
+  ESCHED_REQUIRE(slot >= 0 && s < slot_start_.size() && slot_start_[s] >= 0,
+                 "release of unallocated slot " + std::to_string(slot));
+  release_block(slot_start_[s]);
+  slot_start_[s] = -1;
+  free_slots_.push_back(slot);
+}
+
 bool ContiguousAllocator::try_allocate(JobId job, NodeCount nodes,
                                        Watts watts_per_node) {
   ESCHED_REQUIRE(nodes > 0, "allocation must take nodes");
@@ -97,18 +160,16 @@ void ContiguousAllocator::release(JobId job) {
   const auto it = job_to_start_.find(job);
   ESCHED_REQUIRE(it != job_to_start_.end(),
                  "release of non-running job " + std::to_string(job));
-  const auto block = by_start_.find(it->second);
-  ESCHED_REQUIRE(block != by_start_.end(), "allocator state corrupted");
-  free_ += block->second.length;
-  busy_power_ -= block->second.watts_per_node *
-                 static_cast<double>(block->second.length);
-  if (busy_power_ < 0.0) busy_power_ = 0.0;
-  by_start_.erase(block);
+  release_block(it->second);
   job_to_start_.erase(it);
 }
 
 Watts ContiguousAllocator::current_power() const {
   return busy_power_ + idle_watts_per_node_ * static_cast<double>(free_);
+}
+
+std::unique_ptr<NodeAllocator> ContiguousAllocator::clone() const {
+  return std::make_unique<ContiguousAllocator>(*this);
 }
 
 NodeCount ContiguousAllocator::largest_hole() const {

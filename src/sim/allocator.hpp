@@ -9,11 +9,23 @@
 // model; ContiguousAllocator is the classic 1-D contiguous-block
 // simplification of such partitioned machines, so the fragmentation cost
 // of topology constraints can be measured (bench/ablation_fragmentation).
+//
+// Two parallel APIs:
+//  * slot handles (try_allocate_slot/release_slot) — the simulator's hot
+//    path: the engine keeps the returned handle in its own per-job arrays
+//    and releases by handle, so no allocator ever hashes a JobId per
+//    event;
+//  * JobId keys (try_allocate/release) — convenience for tests and cold
+//    paths, with duplicate-id detection.
+// The two must not be mixed for the same allocation. clone() deep-copies
+// the allocator for simulator snapshots.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/cluster.hpp"
 #include "util/types.hpp"
@@ -29,20 +41,35 @@ class NodeAllocator {
   virtual NodeCount free_nodes() const = 0;
   NodeCount busy_nodes() const { return total_nodes() - free_nodes(); }
 
+  /// Pre-size internal storage for up to `max_concurrent` simultaneous
+  /// allocations (capacity hint only).
+  virtual void reserve(std::size_t /*max_concurrent*/) {}
+
   /// Whether a job of this size can be placed right now (model-specific:
   /// may be false despite free_nodes() >= nodes under fragmentation).
   virtual bool can_allocate(NodeCount nodes) const = 0;
 
-  /// Place a job; returns false when placement fails (the engine leaves
-  /// the job queued). Never partially allocates.
+  /// Hot path: place a job and return its slot handle, or -1 when
+  /// placement fails (the engine leaves the job queued). Never partially
+  /// allocates.
+  virtual std::int32_t try_allocate_slot(NodeCount nodes,
+                                         Watts watts_per_node) = 0;
+
+  /// Hot path: release the allocation behind `slot`; throws if invalid.
+  virtual void release_slot(std::int32_t slot) = 0;
+
+  /// Place a job keyed by id; returns false when placement fails.
   virtual bool try_allocate(JobId job, NodeCount nodes,
                             Watts watts_per_node) = 0;
 
-  /// Release a running job's nodes; throws if unknown.
+  /// Release a running job's nodes by id; throws if unknown.
   virtual void release(JobId job) = 0;
 
   /// Aggregate electrical power right now (busy + idle draw).
   virtual Watts current_power() const = 0;
+
+  /// Deep copy, for simulator snapshots.
+  virtual std::unique_ptr<NodeAllocator> clone() const = 0;
 
   /// Display name for reports.
   virtual std::string name() const = 0;
@@ -56,11 +83,16 @@ class CountingAllocator final : public NodeAllocator {
                              Watts idle_watts_per_node = 0.0);
   NodeCount total_nodes() const override;
   NodeCount free_nodes() const override;
+  void reserve(std::size_t max_concurrent) override;
   bool can_allocate(NodeCount nodes) const override;
+  std::int32_t try_allocate_slot(NodeCount nodes,
+                                 Watts watts_per_node) override;
+  void release_slot(std::int32_t slot) override;
   bool try_allocate(JobId job, NodeCount nodes,
                     Watts watts_per_node) override;
   void release(JobId job) override;
   Watts current_power() const override;
+  std::unique_ptr<NodeAllocator> clone() const override;
   std::string name() const override { return "counting"; }
 
  private:
@@ -77,11 +109,16 @@ class ContiguousAllocator final : public NodeAllocator {
                                Watts idle_watts_per_node = 0.0);
   NodeCount total_nodes() const override;
   NodeCount free_nodes() const override;
+  void reserve(std::size_t max_concurrent) override;
   bool can_allocate(NodeCount nodes) const override;
+  std::int32_t try_allocate_slot(NodeCount nodes,
+                                 Watts watts_per_node) override;
+  void release_slot(std::int32_t slot) override;
   bool try_allocate(JobId job, NodeCount nodes,
                     Watts watts_per_node) override;
   void release(JobId job) override;
   Watts current_power() const override;
+  std::unique_ptr<NodeAllocator> clone() const override;
   std::string name() const override { return "contiguous"; }
 
   /// Size of the largest free contiguous block.
@@ -98,6 +135,8 @@ class ContiguousAllocator final : public NodeAllocator {
   };
   /// Find the best-fit hole for `nodes`; returns (start, found).
   std::pair<NodeCount, bool> best_fit(NodeCount nodes) const;
+  /// Remove the block starting at `start` and return its nodes.
+  void release_block(NodeCount start);
 
   NodeCount total_;
   NodeCount free_;
@@ -106,6 +145,9 @@ class ContiguousAllocator final : public NodeAllocator {
   /// Allocations keyed by block start (ordered -> linear hole scan).
   std::map<NodeCount, Allocation> by_start_;
   std::map<JobId, NodeCount> job_to_start_;
+  /// Slot columns: slot -> block start (-1 marks a free slot).
+  std::vector<NodeCount> slot_start_;
+  std::vector<std::int32_t> free_slots_;
 };
 
 /// Factory used by the simulator config.

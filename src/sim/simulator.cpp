@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 #include "obs/registry.hpp"
@@ -15,13 +16,76 @@
 namespace esched::sim {
 
 namespace {
+constexpr std::size_t kNoPred = std::numeric_limits<std::size_t>::max();
+}  // namespace
 
-/// Internal engine; simulate() constructs one per run.
-class Engine {
+/// The captured mutable state behind a SimSnapshot. Everything the event
+/// loop reads or writes is here; static structure (trace, dependency CSR,
+/// scheduler) is rebuilt by the forked simulation from its own arguments.
+struct SimSnapshot::State {
+  // Identity + behaviour-affecting config, for compatibility checks.
+  std::string trace_name;
+  std::size_t trace_size = 0;
+  NodeCount system_nodes = 0;
+  DurationSec tick_interval = 0;
+  Watts idle_watts_per_node = 0.0;
+  bool contiguous_allocation = false;
+  bool honor_queue_priority = false;
+  bool honor_dependencies = false;
+  std::size_t max_passes_per_tick = 0;
+  bool record_daily_curves = false;
+  std::size_t daily_curve_bins = 0;
+
+  // Event queue.
+  std::vector<Event> events;
+  std::uint64_t next_seq = 0;
+
+  // Wait queue and running set.
+  std::vector<core::PendingJob> queue;
+  std::vector<std::size_t> queue_trace_idx;
+  std::vector<core::RunningJob> running;
+  std::vector<std::size_t> running_trace_idx;
+
+  // Per-job SoA columns.
+  std::vector<TimeSec> eff_submit;
+  std::vector<TimeSec> start;
+  std::vector<TimeSec> finish;
+  std::vector<std::int32_t> alloc_slot;
+  std::vector<std::int32_t> running_pos;
+
+  // Machine, meter, curves.
+  std::unique_ptr<NodeAllocator> alloc;
+  power::BillingMeter::State meter;
+  DailyCurveAccumulator power_curve{1};
+  DailyCurveAccumulator util_curve{1};
+
+  // Scalars and counters.
+  TimeSec horizon_end = 0;
+  TimeSec last_tick_done = -1;
+  TimeSec last_tick_requested = -1;
+  TimeSec last_signal_time = 0;
+  std::uint64_t scheduling_passes = 0;
+  std::uint64_t ticks_processed = 0;
+  std::uint64_t placement_failures = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t tick_requests_deduped = 0;
+  std::uint64_t duplicate_ticks_skipped = 0;
+};
+
+SimSnapshot::SimSnapshot() = default;
+SimSnapshot::~SimSnapshot() = default;
+SimSnapshot::SimSnapshot(SimSnapshot&&) noexcept = default;
+SimSnapshot& SimSnapshot::operator=(SimSnapshot&&) noexcept = default;
+
+/// The simulation engine. Hot per-job state lives in struct-of-arrays
+/// columns indexed by trace index and pre-sized before the event loop
+/// starts, so the loop streams over contiguous memory and performs no
+/// hashing and (in the steady state) no allocation.
+class Simulation::Impl {
  public:
-  Engine(const trace::Trace& trace, const power::PricingModel& pricing,
-         core::SchedulingPolicy& policy, const SimConfig& config,
-         power::PowerVisibility* visibility)
+  Impl(const trace::Trace& trace, const power::PricingModel& pricing,
+       core::SchedulingPolicy& policy, const SimConfig& config,
+       power::PowerVisibility* visibility, bool prime_events)
       : trace_(trace),
         pricing_(pricing),
         visibility_(visibility),
@@ -39,96 +103,146 @@ class Engine {
         util_curve_(config.daily_curve_bins) {
     ESCHED_REQUIRE(config_.tick_interval > 0,
                    "tick interval must be positive");
-  }
-
-  SimResult run() {
     trace_.validate();
-    SimResult result;
-    result.policy_name = scheduler_.policy().name();
-    result.trace_name = trace_.name();
-    result.system_nodes = trace_.system_nodes();
     if (tracer_ != nullptr) {
-      sim_label_ = result.policy_name + "/" + result.trace_name;
+      sim_label_ =
+          scheduler_.policy().name() + "/" + std::string(trace_.name());
     }
-    obs::SpanGuard run_span(tracer_, "sim:" + sim_label_, "sim");
-    if (trace_.empty()) return result;
+    if (trace_.empty()) return;
 
-    result.horizon_begin = trace_.first_submit();
-    last_signal_time_ = result.horizon_begin;
-    records_.resize(trace_.size());
+    const std::size_t size = trace_.size();
+    last_signal_time_ = trace_.first_submit();
 
-    // Pre-size the per-run containers so the event loop never reallocates
-    // in the common case: the wait queue is bounded by the trace, the
-    // running set by the node count (every job needs >= 1 node), and the
-    // event heap holds at most one submit + one finish per job plus a
-    // handful of outstanding ticks.
-    queue_.reserve(trace_.size());
-    queue_trace_idx_.reserve(trace_.size());
-    const std::size_t max_running = std::min(
-        trace_.size(), static_cast<std::size_t>(trace_.system_nodes()));
+    // Pre-size every per-run container so the event loop never
+    // reallocates in the common case: the wait queue is bounded by the
+    // trace, the running set by the node count (every job needs >= 1
+    // node), and the event queue holds at most one submit + one finish
+    // per job plus a handful of outstanding ticks. The calendar is sized
+    // to the submit span; later events overflow and are redistributed
+    // when the window wraps, which stays O(1) amortized.
+    queue_.reserve(size);
+    queue_trace_idx_.reserve(size);
+    const std::size_t max_running =
+        std::min(size, static_cast<std::size_t>(trace_.system_nodes()));
     running_.reserve(max_running);
-    running_ids_.reserve(max_running);
-    running_pos_.reserve(max_running);
-    events_.reserve(2 * trace_.size() + 16);
+    running_trace_idx_.reserve(max_running);
+    alloc_->reserve(max_running);
+    events_.configure(trace_.first_submit(),
+                      trace_.last_submit() - trace_.first_submit() +
+                          config_.tick_interval + 1,
+                      2 * size + 16);
+    events_.reserve(2 * size + 16);
 
-    // Workflow dependencies: a dependent job's submit event is deferred
-    // until its predecessor finishes. Only predecessors appearing earlier
-    // in the trace are honored (rules out cycles and dangling ids).
-    std::unordered_map<JobId, std::size_t> index_of;
+    eff_submit_.resize(size);
+    start_.assign(size, -1);
+    finish_.assign(size, -1);
+    alloc_slot_.assign(size, -1);
+    running_pos_.assign(size, -1);
+    for (std::size_t i = 0; i < size; ++i) eff_submit_[i] = trace_[i].submit;
+
+    // Workflow dependencies, flattened to a CSR adjacency (predecessor ->
+    // dependents, dependents in trace order). Only predecessors appearing
+    // earlier in the trace are honored (rules out cycles and dangling
+    // ids).
+    std::vector<std::size_t> pred;
     if (config_.honor_dependencies) {
-      index_of.reserve(trace_.size());
-      dependents_.assign(trace_.size(), {});
-    }
-    for (std::size_t i = 0; i < trace_.size(); ++i) {
-      const trace::Job& j = trace_[i];
-      records_[i] = JobRecord{j.id,          j.submit, /*start=*/-1,
-                              /*finish=*/-1, j.nodes,  j.power_per_node,
-                              j.user};
-      bool deferred = false;
-      if (config_.honor_dependencies) {
+      pred.assign(size, kNoPred);
+      std::unordered_map<JobId, std::size_t> index_of;
+      index_of.reserve(size);
+      std::vector<std::size_t> counts(size, 0);
+      for (std::size_t i = 0; i < size; ++i) {
+        const trace::Job& j = trace_[i];
         if (j.preceding != 0) {
           const auto it = index_of.find(j.preceding);
           if (it != index_of.end()) {
-            dependents_[it->second].push_back(i);
-            deferred = true;
+            pred[i] = it->second;
+            ++counts[it->second];
           }
         }
         index_of.emplace(j.id, i);
       }
-      if (!deferred) events_.push(j.submit, EventType::kJobSubmit, i);
+      dep_offsets_.resize(size + 1);
+      dep_offsets_[0] = 0;
+      for (std::size_t i = 0; i < size; ++i)
+        dep_offsets_[i + 1] = dep_offsets_[i] + counts[i];
+      dep_list_.resize(dep_offsets_[size]);
+      std::vector<std::size_t> cursor(dep_offsets_.begin(),
+                                      dep_offsets_.end() - 1);
+      for (std::size_t i = 0; i < size; ++i)
+        if (pred[i] != kNoPred) dep_list_[cursor[pred[i]]++] = i;
     }
+
+    if (prime_events) {
+      for (std::size_t i = 0; i < size; ++i) {
+        if (pred.empty() || pred[i] == kNoPred)
+          events_.push(trace_[i].submit, EventType::kJobSubmit, i);
+      }
+    }
+  }
+
+  bool done() const { return events_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool can_snapshot() const {
+    return visibility_ == nullptr && tracer_ == nullptr;
+  }
+  void record_power_signal(PowerSignal* signal) { signal_ = signal; }
+
+  bool step() {
+    if (events_.empty()) return false;
+    const Event ev = events_.pop();
+    ++events_processed_;
+    switch (ev.type) {
+      case EventType::kJobSubmit:
+        handle_submit(ev);
+        break;
+      case EventType::kJobFinish:
+        handle_finish(ev);
+        break;
+      case EventType::kTick:
+        handle_tick(ev);
+        break;
+    }
+    return true;
+  }
+
+  SimResult finish() {
+    ESCHED_REQUIRE(!finished_, "Simulation::finish called twice");
+    finished_ = true;
+
+    SimResult result;
+    result.policy_name = scheduler_.policy().name();
+    result.trace_name = trace_.name();
+    result.system_nodes = trace_.system_nodes();
+    obs::SpanGuard run_span(tracer_, "sim:" + sim_label_, "sim");
+    if (trace_.empty()) return result;
 
     {
       obs::SpanGuard loop_span(tracer_, "event_loop:" + sim_label_, "sim");
-      while (!events_.empty()) {
-        const Event ev = events_.pop();
-        ++events_processed_;
-        switch (ev.type) {
-          case EventType::kJobSubmit:
-            handle_submit(ev);
-            break;
-          case EventType::kJobFinish:
-            handle_finish(ev);
-            break;
-          case EventType::kTick:
-            handle_tick(ev, result);
-            break;
-        }
+      while (step()) {
       }
     }
 
     // Every job must have completed — the machine can always eventually
     // run any valid job, so a leftover means a scheduler bug.
-    for (const JobRecord& r : records_) {
-      ESCHED_REQUIRE(r.finish >= 0,
-                     "job " + std::to_string(r.id) + " never completed");
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      ESCHED_REQUIRE(finish_[i] >= 0, "job " +
+                                          std::to_string(trace_[i].id) +
+                                          " never completed");
     }
 
     record_signals(horizon_end_);
     meter_.finish(horizon_end_);
 
+    result.horizon_begin = trace_.first_submit();
     result.horizon_end = horizon_end_;
-    result.records = std::move(records_);
+    result.records.resize(trace_.size());
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const trace::Job& j = trace_[i];
+      result.records[i] = JobRecord{j.id,       eff_submit_[i],
+                                    start_[i],  finish_[i],
+                                    j.nodes,    j.power_per_node,
+                                    j.user};
+    }
     result.total_bill = meter_.total_bill();
     result.bill_on_peak = meter_.bill_in(power::PricePeriod::kOnPeak);
     result.bill_off_peak = meter_.bill_in(power::PricePeriod::kOffPeak);
@@ -161,8 +275,97 @@ class Engine {
       reg.counter("sim.scheduler_passes").add(scheduling_passes_);
       reg.counter("sim.placement_failures").add(placement_failures_);
       reg.counter("sim.jobs_completed").add(trace_.size());
+      reg.counter("sim.eventq_reallocs").add(events_.reallocs());
     }
     return result;
+  }
+
+  SimSnapshot snapshot() const {
+    ESCHED_REQUIRE(can_snapshot(),
+                   "snapshot requires a simulation without visibility "
+                   "model or tracer");
+    ESCHED_REQUIRE(!finished_, "snapshot of a finished simulation");
+    SimSnapshot snap;
+    snap.state_ = std::make_unique<SimSnapshot::State>();
+    SimSnapshot::State& s = *snap.state_;
+    s.trace_name = trace_.name();
+    s.trace_size = trace_.size();
+    s.system_nodes = trace_.system_nodes();
+    s.tick_interval = config_.tick_interval;
+    s.idle_watts_per_node = config_.idle_watts_per_node;
+    s.contiguous_allocation = config_.contiguous_allocation;
+    s.honor_queue_priority = config_.honor_queue_priority;
+    s.honor_dependencies = config_.honor_dependencies;
+    s.max_passes_per_tick = config_.max_passes_per_tick;
+    s.record_daily_curves = config_.record_daily_curves;
+    s.daily_curve_bins = config_.daily_curve_bins;
+    s.events = events_.snapshot_events();
+    s.next_seq = events_.next_seq();
+    s.queue = queue_;
+    s.queue_trace_idx = queue_trace_idx_;
+    s.running = running_;
+    s.running_trace_idx = running_trace_idx_;
+    s.eff_submit = eff_submit_;
+    s.start = start_;
+    s.finish = finish_;
+    s.alloc_slot = alloc_slot_;
+    s.running_pos = running_pos_;
+    s.alloc = alloc_->clone();
+    s.meter = meter_.state();
+    s.power_curve = power_curve_;
+    s.util_curve = util_curve_;
+    s.horizon_end = horizon_end_;
+    s.last_tick_done = last_tick_done_;
+    s.last_tick_requested = last_tick_requested_;
+    s.last_signal_time = last_signal_time_;
+    s.scheduling_passes = scheduling_passes_;
+    s.ticks_processed = ticks_processed_;
+    s.placement_failures = placement_failures_;
+    s.events_processed = events_processed_;
+    s.tick_requests_deduped = tick_requests_deduped_;
+    s.duplicate_ticks_skipped = duplicate_ticks_skipped_;
+    return snap;
+  }
+
+  void restore(const SimSnapshot::State& s) {
+    ESCHED_REQUIRE(s.trace_name == trace_.name() &&
+                       s.trace_size == trace_.size() &&
+                       s.system_nodes == trace_.system_nodes(),
+                   "fork: snapshot was taken from a different trace");
+    ESCHED_REQUIRE(
+        s.tick_interval == config_.tick_interval &&
+            s.idle_watts_per_node == config_.idle_watts_per_node &&
+            s.contiguous_allocation == config_.contiguous_allocation &&
+            s.honor_queue_priority == config_.honor_queue_priority &&
+            s.honor_dependencies == config_.honor_dependencies &&
+            s.max_passes_per_tick == config_.max_passes_per_tick &&
+            s.record_daily_curves == config_.record_daily_curves &&
+            s.daily_curve_bins == config_.daily_curve_bins,
+        "fork: config differs from the snapshotting run's");
+    events_.restore(s.events, s.next_seq);
+    queue_ = s.queue;
+    queue_trace_idx_ = s.queue_trace_idx;
+    running_ = s.running;
+    running_trace_idx_ = s.running_trace_idx;
+    eff_submit_ = s.eff_submit;
+    start_ = s.start;
+    finish_ = s.finish;
+    alloc_slot_ = s.alloc_slot;
+    running_pos_ = s.running_pos;
+    alloc_ = s.alloc->clone();
+    meter_.restore(s.meter);
+    power_curve_ = s.power_curve;
+    util_curve_ = s.util_curve;
+    horizon_end_ = s.horizon_end;
+    last_tick_done_ = s.last_tick_done;
+    last_tick_requested_ = s.last_tick_requested;
+    last_signal_time_ = s.last_signal_time;
+    scheduling_passes_ = s.scheduling_passes;
+    ticks_processed_ = s.ticks_processed;
+    placement_failures_ = s.placement_failures;
+    events_processed_ = s.events_processed;
+    tick_requests_deduped_ = s.tick_requests_deduped;
+    duplicate_ticks_skipped_ = s.duplicate_ticks_skipped;
   }
 
  private:
@@ -171,10 +374,10 @@ class Engine {
     const Watts visible = visibility_ != nullptr
                               ? visibility_->visible_power_per_node(j)
                               : j.power_per_node;
-    // records_[..].submit is the *effective* release time (it differs
-    // from the trace submit for dependency-deferred jobs).
+    // eff_submit_ is the *effective* release time (it differs from the
+    // trace submit for dependency-deferred jobs).
     const core::PendingJob pending{j.id,
-                                   records_[ev.payload].submit,
+                                   eff_submit_[ev.payload],
                                    j.nodes,
                                    j.walltime,
                                    visible,
@@ -197,27 +400,30 @@ class Engine {
   void handle_finish(const Event& ev) {
     const std::size_t idx = ev.payload;
     record_signals(ev.time);
-    alloc_->release(records_[idx].id);
-    remove_running(records_[idx].id);
+    alloc_->release_slot(alloc_slot_[idx]);
+    alloc_slot_[idx] = -1;
+    remove_running(idx);
     if (visibility_ != nullptr) visibility_->on_job_complete(trace_[idx]);
-    records_[idx].finish = ev.time;
+    finish_[idx] = ev.time;
     horizon_end_ = std::max(horizon_end_, ev.time);
-    meter_.set_power(ev.time, alloc_->current_power());
-    if (config_.honor_dependencies && idx < dependents_.size()) {
-      for (const std::size_t dep : dependents_[idx]) {
+    meter_set_power(ev.time, alloc_->current_power());
+    if (config_.honor_dependencies) {
+      for (std::size_t d = dep_offsets_[idx]; d < dep_offsets_[idx + 1];
+           ++d) {
+        const std::size_t dep = dep_list_[d];
         // Effective release: never before the nominal submit time, and
-        // only after the predecessor plus think time. The record's
+        // only after the predecessor plus think time. The effective
         // submit is updated so wait() measures schedulable wait.
         const TimeSec release = std::max(
-            records_[dep].submit, ev.time + trace_[dep].think_time);
-        records_[dep].submit = release;
+            eff_submit_[dep], ev.time + trace_[dep].think_time);
+        eff_submit_[dep] = release;
         events_.push(release, EventType::kJobSubmit, dep);
       }
     }
     if (!queue_.empty()) request_tick(ev.time);
   }
 
-  void handle_tick(const Event& ev, SimResult&) {
+  void handle_tick(const Event& ev) {
     // Duplicate materialised ticks are possible (several events may each
     // request the same boundary); process each boundary once.
     if (ev.time == last_tick_done_) {
@@ -317,33 +523,36 @@ class Engine {
                            const std::vector<std::size_t>& starts) {
     record_signals(now);
     std::size_t placed = 0;
-    std::vector<bool> started(queue_.size(), false);
+    started_scratch_.assign(queue_.size(), 0);
     for (const std::size_t qi : starts) {
       ESCHED_REQUIRE(qi < queue_.size(), "scheduler start out of range");
-      ESCHED_REQUIRE(!started[qi], "scheduler started a job twice");
+      ESCHED_REQUIRE(started_scratch_[qi] == 0,
+                     "scheduler started a job twice");
       const std::size_t trace_idx = queue_trace_idx_[qi];
       const core::PendingJob& pj = queue_[qi];
       // The allocator and meter always account ground-truth power; the
       // policy may have seen an estimate (pj.power_per_node).
-      if (!alloc_->try_allocate(pj.id, pj.nodes,
-                                trace_[trace_idx].power_per_node)) {
+      const std::int32_t slot = alloc_->try_allocate_slot(
+          pj.nodes, trace_[trace_idx].power_per_node);
+      if (slot < 0) {
         ++placement_failures_;
         continue;
       }
-      started[qi] = true;
+      started_scratch_[qi] = 1;
       ++placed;
       if (log_dispatches_) tick_dispatched_.push_back(pj.id);
-      add_running(pj.id, pj.nodes, now + pj.walltime);
-      records_[trace_idx].start = now;
+      alloc_slot_[trace_idx] = slot;
+      add_running(trace_idx, pj.nodes, now + pj.walltime);
+      start_[trace_idx] = now;
       events_.push(now + trace_[trace_idx].runtime, EventType::kJobFinish,
                    trace_idx);
     }
-    meter_.set_power(now, alloc_->current_power());
+    meter_set_power(now, alloc_->current_power());
 
     // Compact the wait queue, preserving arrival order.
     std::size_t out = 0;
     for (std::size_t i = 0; i < queue_.size(); ++i) {
-      if (!started[i]) {
+      if (started_scratch_[i] == 0) {
         queue_[out] = queue_[i];
         queue_trace_idx_[out] = queue_trace_idx_[i];
         ++out;
@@ -356,9 +565,7 @@ class Engine {
 
   // ---- tick materialisation ----
 
-  void request_tick(TimeSec now) {
-    request_tick_at_boundary(now);
-  }
+  void request_tick(TimeSec now) { request_tick_at_boundary(now); }
 
   void request_tick_at_boundary(TimeSec t) {
     const TimeSec tick = next_tick_at_or_after(t, config_.tick_interval);
@@ -371,27 +578,37 @@ class Engine {
     events_.push(tick, EventType::kTick);
   }
 
-  // ---- running-set bookkeeping (O(1) add/remove) ----
+  // ---- running-set bookkeeping (O(1) add/remove, no hashing) ----
 
-  void add_running(JobId id, NodeCount nodes, TimeSec est_end) {
-    running_pos_[id] = running_.size();
+  void add_running(std::size_t trace_idx, NodeCount nodes, TimeSec est_end) {
+    running_pos_[trace_idx] = static_cast<std::int32_t>(running_.size());
     running_.push_back({nodes, est_end});
-    running_ids_.push_back(id);
+    running_trace_idx_.push_back(trace_idx);
   }
 
-  void remove_running(JobId id) {
-    const auto it = running_pos_.find(id);
-    ESCHED_REQUIRE(it != running_pos_.end(), "finish of unknown job");
-    const std::size_t pos = it->second;
+  void remove_running(std::size_t trace_idx) {
+    const std::int32_t pos = running_pos_[trace_idx];
+    ESCHED_REQUIRE(pos >= 0, "finish of unknown job");
+    const auto p = static_cast<std::size_t>(pos);
     const std::size_t last = running_.size() - 1;
-    if (pos != last) {
-      running_[pos] = running_[last];
-      running_ids_[pos] = running_ids_[last];
-      running_pos_[running_ids_[pos]] = pos;
+    if (p != last) {
+      running_[p] = running_[last];
+      running_trace_idx_[p] = running_trace_idx_[last];
+      running_pos_[running_trace_idx_[p]] = pos;
     }
     running_.pop_back();
-    running_ids_.pop_back();
-    running_pos_.erase(it);
+    running_trace_idx_.pop_back();
+    running_pos_[trace_idx] = -1;
+  }
+
+  // ---- metering (with optional signal recording) ----
+
+  void meter_set_power(TimeSec t, Watts watts) {
+    if (signal_ != nullptr) {
+      signal_->times.push_back(t);
+      signal_->watts.push_back(watts);
+    }
+    meter_.set_power(t, watts);
   }
 
   // ---- signal recording for Fig. 12/13 curves ----
@@ -419,6 +636,8 @@ class Engine {
   std::string sim_label_;          // "<policy>/<trace>" (tracing only)
   std::vector<JobId> tick_dispatched_;  // job ids started this tick
   bool log_dispatches_ = false;
+  bool finished_ = false;
+  PowerSignal* signal_ = nullptr;  // optional meter-input recording
 
   std::unique_ptr<NodeAllocator> alloc_;
   power::BillingMeter meter_;
@@ -427,11 +646,21 @@ class Engine {
   std::vector<core::PendingJob> queue_;        // arrival order
   std::vector<std::size_t> queue_trace_idx_;   // parallel to queue_
   std::vector<core::RunningJob> running_;
-  std::vector<JobId> running_ids_;             // parallel to running_
-  std::unordered_map<JobId, std::size_t> running_pos_;
+  std::vector<std::size_t> running_trace_idx_;  // parallel to running_
+  std::vector<char> started_scratch_;           // apply_starts workspace
 
-  std::vector<JobRecord> records_;
-  std::vector<std::vector<std::size_t>> dependents_;
+  // Per-job SoA columns, indexed by trace index and sized once up front.
+  std::vector<TimeSec> eff_submit_;  ///< effective release time
+  std::vector<TimeSec> start_;       ///< -1 until started
+  std::vector<TimeSec> finish_;      ///< -1 until finished
+  std::vector<std::int32_t> alloc_slot_;   ///< allocator slot, -1 if idle
+  std::vector<std::int32_t> running_pos_;  ///< index into running_, -1
+
+  // Dependency CSR: dependents of job i are
+  // dep_list_[dep_offsets_[i] .. dep_offsets_[i+1]).
+  std::vector<std::size_t> dep_offsets_;
+  std::vector<std::size_t> dep_list_;
+
   TimeSec horizon_end_ = 0;
   TimeSec last_tick_done_ = -1;
   TimeSec last_tick_requested_ = -1;
@@ -447,14 +676,83 @@ class Engine {
   DailyCurveAccumulator util_curve_;
 };
 
-}  // namespace
+// ------------------------------------------------- Simulation facade --
+
+Simulation::Simulation(const trace::Trace& trace,
+                       const power::PricingModel& pricing,
+                       core::SchedulingPolicy& policy,
+                       const SimConfig& config,
+                       power::PowerVisibility* visibility)
+    : impl_(std::make_unique<Impl>(trace, pricing, policy, config,
+                                   visibility, /*prime_events=*/true)) {}
+
+Simulation::Simulation(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+Simulation::~Simulation() = default;
+Simulation::Simulation(Simulation&&) noexcept = default;
+Simulation& Simulation::operator=(Simulation&&) noexcept = default;
+
+bool Simulation::done() const { return impl_->done(); }
+std::uint64_t Simulation::events_processed() const {
+  return impl_->events_processed();
+}
+bool Simulation::step() { return impl_->step(); }
+
+void Simulation::run_prefix(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events && impl_->step(); ++i) {
+  }
+}
+
+void Simulation::record_power_signal(PowerSignal* signal) {
+  impl_->record_power_signal(signal);
+}
+
+bool Simulation::can_snapshot() const { return impl_->can_snapshot(); }
+
+SimSnapshot Simulation::snapshot() const { return impl_->snapshot(); }
+
+Simulation Simulation::fork(const SimSnapshot& snap,
+                            const trace::Trace& trace,
+                            const power::PricingModel& pricing,
+                            core::SchedulingPolicy& policy,
+                            const SimConfig& config) {
+  ESCHED_REQUIRE(snap.state_ != nullptr, "fork from an empty snapshot");
+  auto impl = std::make_unique<Impl>(trace, pricing, policy, config,
+                                     /*visibility=*/nullptr,
+                                     /*prime_events=*/false);
+  impl->restore(*snap.state_);
+  return Simulation(std::move(impl));
+}
+
+SimResult Simulation::finish() { return impl_->finish(); }
+
+// --------------------------------------------------- free functions --
 
 SimResult simulate(const trace::Trace& trace,
                    const power::PricingModel& pricing,
                    core::SchedulingPolicy& policy, const SimConfig& config,
                    power::PowerVisibility* visibility) {
-  Engine engine(trace, pricing, policy, config, visibility);
-  return engine.run();
+  Simulation sim(trace, pricing, policy, config, visibility);
+  return sim.finish();
+}
+
+void rebill(SimResult& result, const PowerSignal& signal,
+            const power::PricingModel& pricing,
+            const power::FacilityModel* facility) {
+  ESCHED_REQUIRE(signal.times.size() == signal.watts.size(),
+                 "malformed power signal");
+  power::BillingMeter meter(pricing, result.horizon_begin, facility);
+  for (std::size_t i = 0; i < signal.times.size(); ++i)
+    meter.set_power(signal.times[i], signal.watts[i]);
+  meter.finish(result.horizon_end);
+  result.total_bill = meter.total_bill();
+  result.bill_on_peak = meter.bill_in(power::PricePeriod::kOnPeak);
+  result.bill_off_peak = meter.bill_in(power::PricePeriod::kOffPeak);
+  result.total_energy = meter.total_energy();
+  result.energy_on_peak = meter.energy_in(power::PricePeriod::kOnPeak);
+  result.energy_off_peak = meter.energy_in(power::PricePeriod::kOffPeak);
+  result.it_energy = meter.it_energy();
+  result.daily_bills = meter.daily_bills();
 }
 
 }  // namespace esched::sim

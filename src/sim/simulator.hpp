@@ -9,8 +9,30 @@
 // efficiency the simulator only *materialises* ticks that can matter: ones
 // following a state change (submit/finish) or a price-period flip; a tick
 // at which nothing changed is provably a no-op and is never enqueued.
+//
+// Two entry points:
+//  * simulate() — run a whole trace to completion (the common case);
+//  * Simulation — the same engine, resumable: step() processes one event
+//    at a time, snapshot() captures the complete mutable state, and
+//    fork() resumes a new simulation from a snapshot. This is what lets a
+//    parameter sweep simulate a shared warm-up prefix once and fork the
+//    cells from it instead of replaying from t=0 (see run/sweep.cpp), and
+//    what the fork-at-every-prefix property tests drive. Snapshot
+//    compatibility rules are documented in DESIGN.md — in short, a fork
+//    is bit-identical to a full replay iff trace, pricing, policy and
+//    config are all identical to the snapshotting run's.
+//
+// A Simulation can also record the meter's input — the piecewise-constant
+// system power signal — into a PowerSignal. rebill() then re-prices that
+// signal under a different tariff without re-simulating: scheduling
+// trajectories depend on the tariff only through its on/off-peak
+// *boundaries* (policies see PricePeriod, never prices — see
+// core/policy.hpp), so sweep cells that differ only in price levels share
+// one trajectory and differ only in metering. That identity is what the
+// sweep runner's prefix sharing exploits.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "core/scheduler.hpp"
@@ -74,6 +96,90 @@ struct SimConfig {
   obs::Tracer* tracer = nullptr;
 };
 
+/// The piecewise-constant total-system-power signal a simulation feeds
+/// its billing meter: change-point i says "power becomes watts[i] at
+/// times[i]". Recorded via Simulation::record_power_signal(), re-priced
+/// under another tariff via rebill().
+struct PowerSignal {
+  std::vector<TimeSec> times;
+  std::vector<Watts> watts;
+};
+
+/// An opaque deep copy of a Simulation's complete mutable state (event
+/// queue, wait queue, running set, per-job arrays, allocator, meter,
+/// curves, counters). Move-only; one snapshot can seed any number of
+/// forks.
+class SimSnapshot {
+ public:
+  SimSnapshot();
+  ~SimSnapshot();
+  SimSnapshot(SimSnapshot&&) noexcept;
+  SimSnapshot& operator=(SimSnapshot&&) noexcept;
+  SimSnapshot(const SimSnapshot&) = delete;
+  SimSnapshot& operator=(const SimSnapshot&) = delete;
+
+ private:
+  friend class Simulation;
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// A resumable simulation run. Construct with the same arguments as
+/// simulate(), then either call finish() directly (identical behaviour)
+/// or interleave step()/run_prefix() with snapshot().
+class Simulation {
+ public:
+  /// See simulate() for the argument contract. All references must
+  /// outlive the Simulation.
+  Simulation(const trace::Trace& trace, const power::PricingModel& pricing,
+             core::SchedulingPolicy& policy, const SimConfig& config = {},
+             power::PowerVisibility* visibility = nullptr);
+  ~Simulation();
+  Simulation(Simulation&&) noexcept;
+  Simulation& operator=(Simulation&&) noexcept;
+
+  /// True once every event has been processed.
+  bool done() const;
+  /// Events processed so far (every prefix length in [0, total] is a
+  /// legal snapshot point).
+  std::uint64_t events_processed() const;
+
+  /// Process the next event; returns false (and does nothing) when done.
+  bool step();
+  /// Process up to `max_events` further events.
+  void run_prefix(std::uint64_t max_events);
+
+  /// Record every meter change-point into `signal` (append-only; caller
+  /// owns it and must keep it alive). Pass nullptr to stop recording.
+  /// Enable before the first step() to capture the whole signal.
+  void record_power_signal(PowerSignal* signal);
+
+  /// Snapshots capture engine state but not the visibility model's or
+  /// tracer's, so they require both to be absent.
+  bool can_snapshot() const;
+  /// Deep-copy the current state. Requires can_snapshot().
+  SimSnapshot snapshot() const;
+
+  /// Resume a new simulation from `snap`. The trace must be the one the
+  /// snapshot was taken from (same name, size and node count — enforced)
+  /// and the config must match on every behaviour-affecting knob
+  /// (enforced field-by-field); pricing and policy must be semantically
+  /// identical to the original's for the fork to be bit-identical to a
+  /// full replay (not enforceable — see DESIGN.md for the rules).
+  static Simulation fork(const SimSnapshot& snap, const trace::Trace& trace,
+                         const power::PricingModel& pricing,
+                         core::SchedulingPolicy& policy,
+                         const SimConfig& config = {});
+
+  /// Drain all remaining events and assemble the result. Call once.
+  SimResult finish();
+
+ private:
+  class Impl;
+  explicit Simulation(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Run `policy` over `trace` under `pricing`. The trace must be finalized
 /// and valid; every job must carry a power profile if the bill is to be
 /// meaningful. Deterministic: same inputs, same SimResult.
@@ -88,5 +194,14 @@ SimResult simulate(const trace::Trace& trace,
                    core::SchedulingPolicy& policy,
                    const SimConfig& config = {},
                    power::PowerVisibility* visibility = nullptr);
+
+/// Recompute `result`'s meter-derived fields (bills, energies, daily
+/// bills) by replaying `signal` under `pricing`/`facility`. Produces
+/// bit-identical values to a full simulation under that tariff whenever
+/// the tariff's period boundaries match the one `signal` was recorded
+/// under (trajectories, and hence the signal, depend only on boundaries).
+void rebill(SimResult& result, const PowerSignal& signal,
+            const power::PricingModel& pricing,
+            const power::FacilityModel* facility = nullptr);
 
 }  // namespace esched::sim

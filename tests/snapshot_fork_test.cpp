@@ -1,0 +1,187 @@
+// Property test for the warm-up snapshot/fork machinery: forking at
+// EVERY legal prefix (0..total events) and finishing must produce a
+// SimResult bit-identical to the uninterrupted reference run, for every
+// policy and pricing model. This is the contract that lets the sweep
+// runner simulate a shared warm-up once and fork the cells from it
+// (see DESIGN.md "Snapshot compatibility").
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "obs/tracer.hpp"
+#include "power/pricing.hpp"
+#include "power/visibility.hpp"
+#include "sim/simulator.hpp"
+#include "run/sweep.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace esched {
+namespace {
+
+trace::Trace random_trace(Rng& rng) {
+  trace::Trace t("ref", 16);
+  const auto jobs = static_cast<std::size_t>(rng.uniform_int(5, 30));
+  for (std::size_t i = 0; i < jobs; ++i) {
+    trace::Job j;
+    j.id = static_cast<JobId>(i + 1);
+    j.submit = rng.uniform_int(0, 300);
+    j.nodes = rng.uniform_int(1, 16);
+    j.runtime = rng.uniform_int(1, 60);
+    j.walltime = j.runtime + rng.uniform_int(0, 30);
+    j.power_per_node = rng.uniform(20.0, 60.0);
+    j.user = static_cast<int>(rng.uniform_int(0, 3));
+    t.add_job(j);
+  }
+  t.finalize();
+  return t;
+}
+
+class SnapshotForkProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SnapshotForkProperty, ForkAtEveryPrefixMatchesFullRun) {
+  Rng rng(GetParam());
+  // Price boundaries every 120 s so short runs cross several on/off
+  // flips; flat pricing exercises the no-boundary path.
+  const power::OnOffPeakPricing on_off(36.0, 3.0, /*on_peak_start=*/0,
+                                       /*on_peak_end=*/120);
+  const power::FlatPricing flat(12.0);
+  const std::vector<const power::PricingModel*> pricings{&on_off, &flat};
+
+  for (int round = 0; round < 3; ++round) {
+    const trace::Trace trace = random_trace(rng);
+    for (const power::PricingModel* pricing : pricings) {
+      for (const char* policy_name : {"fcfs", "greedy", "knapsack"}) {
+        sim::SimConfig cfg;
+        cfg.tick_interval = 10;
+
+        const auto ref_policy = core::make_policy_by_name(policy_name);
+        const sim::SimResult reference =
+            sim::simulate(trace, *pricing, *ref_policy, cfg);
+
+        // Lead run stepped one event at a time; snapshot before every
+        // step (prefix lengths 0, 1, ..., total).
+        const auto lead_policy = core::make_policy_by_name(policy_name);
+        sim::Simulation lead(trace, *pricing, *lead_policy, cfg);
+        ASSERT_TRUE(lead.can_snapshot());
+        std::uint64_t prefixes = 0;
+        for (;; ++prefixes) {
+          const sim::SimSnapshot snap = lead.snapshot();
+          const auto fork_policy = core::make_policy_by_name(policy_name);
+          sim::Simulation forked = sim::Simulation::fork(
+              snap, trace, *pricing, *fork_policy, cfg);
+          ASSERT_EQ(forked.events_processed(), lead.events_processed());
+          const sim::SimResult result = forked.finish();
+          ASSERT_TRUE(run::results_identical(reference, result))
+              << "policy=" << policy_name
+              << " prefix=" << lead.events_processed()
+              << ": fork diverged from the full run";
+          if (!lead.step()) break;
+        }
+        // Sanity: the loop forked at every prefix 0..N (the break skips
+        // the final increment, so the counter reads N, not N+1).
+        EXPECT_EQ(prefixes, lead.events_processed());
+
+        // The lead run itself must also finish identically.
+        const sim::SimResult lead_result = lead.finish();
+        EXPECT_TRUE(run::results_identical(reference, lead_result))
+            << "policy=" << policy_name << ": stepped run diverged";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotForkProperty,
+                         ::testing::Values(7u, 8u, 9u));
+
+TEST(SnapshotForkTest, ForkRejectsMismatchedConfig) {
+  Rng rng(42);
+  const trace::Trace trace = random_trace(rng);
+  const power::FlatPricing pricing(12.0);
+  const auto policy = core::make_policy_by_name("fcfs");
+  sim::SimConfig cfg;
+  cfg.tick_interval = 10;
+  sim::Simulation lead(trace, pricing, *policy, cfg);
+  lead.run_prefix(5);
+  const sim::SimSnapshot snap = lead.snapshot();
+
+  const auto fork_policy = core::make_policy_by_name("fcfs");
+  sim::SimConfig other = cfg;
+  other.tick_interval = 20;
+  EXPECT_THROW(
+      sim::Simulation::fork(snap, trace, pricing, *fork_policy, other),
+      Error);
+
+  sim::SimConfig contiguous = cfg;
+  contiguous.contiguous_allocation = true;
+  EXPECT_THROW(
+      sim::Simulation::fork(snap, trace, pricing, *fork_policy, contiguous),
+      Error);
+}
+
+TEST(SnapshotForkTest, ForkRejectsMismatchedTrace) {
+  Rng rng(43);
+  const trace::Trace trace = random_trace(rng);
+  const power::FlatPricing pricing(12.0);
+  const auto policy = core::make_policy_by_name("fcfs");
+  sim::Simulation lead(trace, pricing, *policy);
+  const sim::SimSnapshot snap = lead.snapshot();
+
+  trace::Trace other("other", 16);
+  trace::Job j;
+  j.id = 1;
+  j.submit = 0;
+  j.nodes = 1;
+  j.runtime = 10;
+  j.walltime = 20;
+  j.power_per_node = 40.0;
+  other.add_job(j);
+  other.finalize();
+  const auto fork_policy = core::make_policy_by_name("fcfs");
+  EXPECT_THROW(
+      sim::Simulation::fork(snap, other, pricing, *fork_policy, {}), Error);
+}
+
+TEST(SnapshotForkTest, VisibilityAndTracerBlockSnapshots) {
+  Rng rng(44);
+  const trace::Trace trace = random_trace(rng);
+  const power::FlatPricing pricing(12.0);
+
+  {
+    const auto policy = core::make_policy_by_name("fcfs");
+    power::TruthVisibility visibility;
+    sim::Simulation s(trace, pricing, *policy, {}, &visibility);
+    EXPECT_FALSE(s.can_snapshot());
+    EXPECT_THROW(s.snapshot(), Error);
+  }
+  {
+    // A tracer blocks snapshots only once opened: a disabled tracer is
+    // ignored by the engine entirely (it can never affect the run).
+    const auto policy = core::make_policy_by_name("fcfs");
+    obs::Tracer disabled;
+    sim::SimConfig cfg;
+    cfg.tracer = &disabled;
+    sim::Simulation ok(trace, pricing, *policy, cfg);
+    EXPECT_TRUE(ok.can_snapshot());
+
+    obs::Tracer tracer;
+    const std::string path =
+        ::testing::TempDir() + "snapshot_fork_tracer.json";
+    tracer.open(path);
+    cfg.tracer = &tracer;
+    const auto policy2 = core::make_policy_by_name("fcfs");
+    sim::Simulation s(trace, pricing, *policy2, cfg);
+    EXPECT_FALSE(s.can_snapshot());
+    EXPECT_THROW(s.snapshot(), Error);
+    tracer.close();
+    std::remove(path.c_str());
+    std::remove((path + obs::Tracer::kDecisionLogSuffix).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace esched

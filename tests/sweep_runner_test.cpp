@@ -21,8 +21,10 @@
 #include "core/fcfs_policy.hpp"
 #include "core/greedy_policy.hpp"
 #include "core/knapsack_policy.hpp"
+#include "core/policy.hpp"
 #include "power/pricing.hpp"
 #include "power/profile.hpp"
+#include "run/spec.hpp"
 #include "trace/synthetic.hpp"
 #include "util/error.hpp"
 
@@ -298,6 +300,122 @@ TEST(SweepRunnerTest, WorkerBusySecondsAccountForAllCpuTime) {
   EXPECT_NEAR(busy_total, stats.cpu_seconds, 1e-9);
   // Out-of-range worker index reads as "no busy time", not UB.
   EXPECT_DOUBLE_EQ(stats.worker_busy_fraction(stats.threads + 5), 0.0);
+}
+
+// ---- trajectory sharing (prefix sharing) ----
+
+/// A spec-carrying sweep cell: shareable by cell/share key. The trace is
+/// built from the spec itself so keys and data can never disagree.
+SimJob spec_cell(const std::shared_ptr<const trace::Trace>& trace,
+                 const TraceSpec& trace_spec, const std::string& policy,
+                 const std::string& pricing_model, double ratio) {
+  PricingSpec pricing_spec;
+  pricing_spec.model = pricing_model;
+  pricing_spec.ratio = ratio;
+  auto spec = std::make_shared<JobSpec>();
+  spec->trace = trace_spec;
+  spec->pricing = pricing_spec;
+  spec->policy.name = policy;
+  SimJob job;
+  job.trace = trace;
+  job.pricing =
+      std::shared_ptr<const power::PricingModel>(build_pricing(pricing_spec));
+  job.make_policy = [policy] { return core::make_policy_by_name(policy); };
+  job.label = policy + "/" + pricing_model + "/" + std::to_string(ratio);
+  job.spec = std::move(spec);
+  return job;
+}
+
+std::vector<SimJob> shareable_sweep() {
+  TraceSpec trace_spec;
+  trace_spec.source = "anl-bgp";
+  trace_spec.months = 1;
+  trace_spec.seed = 7;
+  trace_spec.power_seed = 7;
+  static const auto trace =
+      std::make_shared<const trace::Trace>(build_trace(trace_spec));
+  std::vector<SimJob> sweep;
+  // Two policies x two price ratios (same share key per policy: the
+  // paper tariff's period structure is ratio-independent), plus an exact
+  // duplicate cell (same cell key -> copy) and two flat-pricing cells
+  // whose differing ratios are irrelevant under "flat" (same cell key).
+  for (const char* policy : {"fcfs", "greedy"}) {
+    for (const double ratio : {2.0, 4.0}) {
+      sweep.push_back(spec_cell(trace, trace_spec, policy, "paper", ratio));
+    }
+  }
+  sweep.push_back(spec_cell(trace, trace_spec, "fcfs", "paper", 2.0));
+  sweep.push_back(spec_cell(trace, trace_spec, "fcfs", "flat", 2.0));
+  sweep.push_back(spec_cell(trace, trace_spec, "fcfs", "flat", 4.0));
+  return sweep;
+}
+
+TEST(SweepRunnerTest, PrefixSharingIsBitIdenticalToFullSimulation) {
+  const std::vector<SimJob> sweep = shareable_sweep();
+
+  SweepRunner full(1);
+  full.set_prefix_sharing(false);
+  const auto full_results = full.run(sweep);
+  EXPECT_EQ(full.last_stats().simulated_cells, sweep.size());
+  EXPECT_EQ(full.last_stats().copied_cells, 0u);
+  EXPECT_EQ(full.last_stats().rebilled_cells, 0u);
+
+  SweepRunner shared(1);
+  shared.set_prefix_sharing(true);
+  const auto shared_results = shared.run(sweep);
+
+  ASSERT_EQ(full_results.size(), shared_results.size());
+  for (std::size_t i = 0; i < full_results.size(); ++i) {
+    EXPECT_TRUE(results_identical(full_results[i], shared_results[i]))
+        << "cell " << i << " (" << sweep[i].label
+        << ") diverged under trajectory sharing";
+  }
+
+  // 3 trajectories simulated: fcfs/paper, greedy/paper, fcfs/flat. The
+  // duplicate paper cell and the second flat ratio are copies; the two
+  // remaining paper ratios are re-billings of their policy's leader.
+  const SweepStats& stats = shared.last_stats();
+  EXPECT_EQ(stats.tasks, sweep.size());
+  EXPECT_EQ(stats.simulated_cells, 3u);
+  EXPECT_EQ(stats.copied_cells, 2u);
+  EXPECT_EQ(stats.rebilled_cells, 2u);
+}
+
+TEST(SweepRunnerTest, SharingAndThreadsPreserveDeterminism) {
+  // The isolation-mode determinism contract: sharing on N threads ==
+  // full simulation on 1 thread, bit for bit.
+  const std::vector<SimJob> sweep = shareable_sweep();
+  SweepRunner full(1);
+  full.set_prefix_sharing(false);
+  const auto reference = full.run(sweep);
+  SweepRunner shared(4);
+  shared.set_prefix_sharing(true);
+  const auto threaded = shared.run(sweep);
+  ASSERT_EQ(reference.size(), threaded.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_TRUE(results_identical(reference[i], threaded[i]));
+  }
+}
+
+TEST(SweepRunnerTest, CellsWithoutSpecsNeverShare) {
+  // three_policy_sweep() carries no JobSpecs, so sharing has nothing to
+  // key on: every cell simulates in full even with sharing enabled.
+  const std::vector<SimJob> sweep = three_policy_sweep();
+  SweepRunner runner(1);
+  runner.set_prefix_sharing(true);
+  runner.run(sweep);
+  EXPECT_EQ(runner.last_stats().simulated_cells, sweep.size());
+  EXPECT_EQ(runner.last_stats().copied_cells, 0u);
+  EXPECT_EQ(runner.last_stats().rebilled_cells, 0u);
+}
+
+TEST(SweepRunnerTest, PrefixSharingEnvOptOut) {
+  ::setenv("ESCHED_PREFIX_SHARE", "off", 1);
+  EXPECT_FALSE(SweepRunner::prefix_sharing_default());
+  ::setenv("ESCHED_PREFIX_SHARE", "on", 1);
+  EXPECT_TRUE(SweepRunner::prefix_sharing_default());
+  ::unsetenv("ESCHED_PREFIX_SHARE");
+  EXPECT_TRUE(SweepRunner::prefix_sharing_default());
 }
 
 TEST(SweepRunnerTest, ResultsIdenticalDetectsDivergence) {
